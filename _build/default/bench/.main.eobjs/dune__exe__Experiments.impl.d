@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bigint Combinat Core Float Format Gen_instances Hashtbl List Option Printf Privacy Rat Reductions Rel String Svutil Sys Wf

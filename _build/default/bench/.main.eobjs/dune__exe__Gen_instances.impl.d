@@ -1,0 +1,1 @@
+bench/gen_instances.ml: Core List Printf Rat Svutil

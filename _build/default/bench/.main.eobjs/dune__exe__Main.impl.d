@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Combinat Core Experiments Gen_instances Hashtbl Instance List Measure Printf Privacy Rat Reductions Rel Staged String Svutil Sys Test Time Toolkit Wf

@@ -1,0 +1,102 @@
+(* Random abstract Secure-View instances for the approximation
+   experiments (E05-E07, E17). Unlike Wf.Gen these do not materialize
+   module tables: the experiments of Theorems 5-7 operate on requirement
+   lists directly, which lets the sweeps reach more modules. *)
+
+module I = Core.Instance
+module Req = Core.Requirement
+module Rng = Svutil.Rng
+
+type shape = {
+  n_modules : int;
+  max_inputs : int;
+  max_outputs : int;
+  sharing : int;  (** bound on consumers per attribute *)
+  max_cost : int;
+}
+
+let default_shape =
+  { n_modules = 4; max_inputs = 3; max_outputs = 2; sharing = 2; max_cost = 10 }
+
+(* Wiring: each module consumes available attributes (respecting the
+   sharing bound) and produces fresh ones, like Wf.Gen but abstract. *)
+let wire rng shape =
+  let fresh_count = ref 0 in
+  let fresh () =
+    incr fresh_count;
+    Printf.sprintf "d%d" !fresh_count
+  in
+  let available = ref [] in
+  let take () =
+    match !available with
+    | [] -> None
+    | pool ->
+        let a, budget = Rng.pick rng pool in
+        decr budget;
+        if !budget <= 0 then available := List.filter (fun (a', _) -> a' <> a) pool;
+        Some a
+  in
+  let mods =
+    List.map
+      (fun i ->
+        let n_in = 1 + Rng.int rng shape.max_inputs in
+        let n_out = 1 + Rng.int rng shape.max_outputs in
+        let rec inputs n acc =
+          if n = 0 then acc
+          else
+            let choice =
+              if Rng.float rng < 0.35 then fresh ()
+              else match take () with Some a -> a | None -> fresh ()
+            in
+            if List.mem choice acc then inputs n acc else inputs (n - 1) (choice :: acc)
+        in
+        let ins = inputs n_in [] in
+        let outs = List.init n_out (fun _ -> fresh ()) in
+        List.iter (fun o -> available := (o, ref shape.sharing) :: !available) outs;
+        (Printf.sprintf "m%d" (i + 1), ins, outs))
+      (Svutil.Listx.range shape.n_modules)
+  in
+  let attrs =
+    Svutil.Listx.dedup (List.concat_map (fun (_, i, o) -> i @ o) mods)
+  in
+  (mods, attrs)
+
+let random_costs rng shape attrs =
+  List.map (fun a -> (a, Rat.of_int (1 + Rng.int rng shape.max_cost))) attrs
+
+let random_card rng shape =
+  let mods, attrs = wire rng shape in
+  let module_req (name, ins, outs) =
+    let ni = List.length ins and no = List.length outs in
+    let n_opts = 1 + Rng.int rng 3 in
+    let pairs =
+      List.init n_opts (fun _ ->
+          let a = Rng.int rng (ni + 1) and b = Rng.int rng (no + 1) in
+          if a = 0 && b = 0 then (1, 0) else (a, b))
+    in
+    {
+      I.m_name = name;
+      inputs = ins;
+      outputs = outs;
+      req = Req.Card (Req.normalize_card pairs);
+    }
+  in
+  I.make
+    ~attr_costs:(random_costs rng shape attrs)
+    ~mods:(List.map module_req mods) ()
+
+let random_sets rng shape ~lmax =
+  let mods, attrs = wire rng shape in
+  let module_req (name, ins, outs) =
+    let pool = ins @ outs in
+    let option () =
+      let size = 1 + Rng.int rng (min 3 (List.length pool)) in
+      let chosen = Rng.sample rng size pool in
+      (Svutil.Listx.inter chosen ins, Svutil.Listx.inter chosen outs)
+    in
+    let options = List.init lmax (fun _ -> option ()) in
+    { I.m_name = name; inputs = ins; outputs = outs; req = Req.Sets (Req.normalize_sets options) }
+  in
+  I.make
+    ~attr_costs:(random_costs rng shape attrs)
+    ~mods:(List.map module_req mods) ()

@@ -1,0 +1,141 @@
+(* Benchmark harness driver.
+
+   dune exec bench/main.exe                 -- all experiment tables + timings
+   dune exec bench/main.exe -- e05 e07      -- selected experiments only
+   dune exec bench/main.exe -- --no-timings -- tables only
+   dune exec bench/main.exe -- --timings    -- bechamel timings only *)
+
+open Bechamel
+open Toolkit
+
+module L = Wf.Library
+module St = Privacy.Standalone
+module Rng = Svutil.Rng
+
+(* One bechamel test per experiment: a small fixed kernel representative
+   of the experiment's dominant operation. *)
+let timing_tests () =
+  let fig1 = L.fig1_m1 in
+  let card_inst =
+    Gen_instances.random_card (Rng.create 42)
+      { Gen_instances.default_shape with n_modules = 3 }
+  in
+  let sets_inst =
+    Gen_instances.random_sets (Rng.create 43)
+      { Gen_instances.default_shape with n_modules = 3 }
+      ~lmax:2
+  in
+  let sc = Combinat.Set_cover.random (Rng.create 44) ~universe:6 ~n_sets:4 in
+  let lc =
+    Combinat.Label_cover.random (Rng.create 45) ~left:2 ~right:1 ~labels:2 ~edge_prob:0.7
+  in
+  let g = Combinat.Vertex_cover.random_cubic (Rng.create 46) ~n:4 in
+  let chain =
+    Wf.Workflow.create_exn
+      [
+        L.constant ~name:"m'" ~inputs:[ "c" ] ~outputs:[ "x" ] [| 0 |];
+        L.identity ~name:"m" ~inputs:[ "x" ] ~outputs:[ "y" ];
+      ]
+  in
+  let tiny_wf =
+    Wf.Gen.random_workflow (Rng.create 47)
+      { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
+  in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let lp_x inst =
+    match Core.Card_lp.lp_relaxation ~fast:true inst with
+    | `Optimal (x, _) -> x
+    | `Infeasible -> fun _ -> Rat.zero
+  in
+  let card_x = lp_x card_inst in
+  [
+    stage "e01_safety_check" (fun () ->
+        ignore (St.is_safe fig1 ~visible:[ "a1"; "a3"; "a5" ] ~gamma:4));
+    stage "e02_worlds_enum" (fun () ->
+        ignore (Privacy.Worlds.count_standalone_worlds fig1 ~visible:[ "a1"; "a3"; "a5" ]));
+    stage "e03_workflow_worlds" (fun () ->
+        ignore
+          (Privacy.Worlds.workflow_worlds_functions chain ~public:[]
+             ~visible:[ "c"; "y" ]));
+    stage "e04_greedy_gap" (fun () ->
+        ignore (Core.Greedy.solve (Experiments.example5_instance 8)));
+    stage "e05_card_lp_fast" (fun () ->
+        ignore (Core.Card_lp.lp_relaxation ~fast:true card_inst));
+    stage "e05_card_lp_exact" (fun () ->
+        ignore (Core.Card_lp.lp_relaxation ~fast:false card_inst));
+    stage "e05_algorithm1" (fun () ->
+        ignore (Core.Rounding.algorithm1 (Rng.create 7) card_inst ~x:card_x));
+    stage "e06_set_lp_round" (fun () ->
+        match Core.Set_lp.lp_relaxation ~fast:true sets_inst with
+        | `Optimal (x, _) -> ignore (Core.Rounding.threshold sets_inst ~x)
+        | `Infeasible -> ());
+    stage "e07_greedy" (fun () -> ignore (Core.Greedy.solve card_inst));
+    stage "e08_safecheck_large_domain" (fun () ->
+        let m =
+          Wf.Gen.random_module (Rng.create 48) ~name:"m"
+            ~inputs:[ Rel.Attr.make "x" ~dom:128 ]
+            ~outputs:[ Rel.Attr.boolean "y" ]
+        in
+        ignore (St.is_safe m ~visible:[ "x" ] ~gamma:2));
+    stage "e09_min_cost_search" (fun () ->
+        ignore
+          (St.min_cost_hidden fig1 ~gamma:4 ~cost:(fun _ -> Rat.one)));
+    stage "e10_setcover_gadget_ilp" (fun () ->
+        ignore (Core.Exact.solve ~fast:true (Reductions.Sc_card.of_set_cover sc)));
+    stage "e11_labelcover_gadget_ilp" (fun () ->
+        ignore (Core.Exact.solve ~fast:true (Reductions.Lc_set.of_label_cover lc)));
+    stage "e12_vertexcover_gadget_ilp" (fun () ->
+        ignore (Core.Exact.solve ~fast:true (Reductions.Vc_nosharing.of_vertex_cover g)));
+    stage "e13_brute_out_size" (fun () ->
+        ignore
+          (Privacy.Wprivacy.min_out_size_brute chain ~public:[] ~visible:[ "c"; "y" ]
+             ~module_name:"m"));
+    stage "e14_general_gadget_ilp" (fun () ->
+        ignore (Core.Exact.solve ~fast:true (Reductions.Sc_general.of_set_cover sc)));
+    stage "e15_general_lc_gadget_ilp" (fun () ->
+        ignore (Core.Exact.solve ~fast:true (Reductions.Lc_general.of_label_cover lc)));
+    stage "e16_compose_check" (fun () ->
+        ignore (Privacy.Wprivacy.compose_safe tiny_wf ~gamma:2 ~hidden:[]));
+    stage "e17_lp_variants" (fun () ->
+        ignore (Core.Card_lp.lp_relaxation ~variant:Core.Card_lp.No_sum_bound ~fast:true card_inst));
+    stage "e18_derive_requirement" (fun () ->
+        ignore (Core.Derive.requirement fig1 ~gamma:4));
+  ]
+
+let run_timings () =
+  print_endline "\n== Bechamel timings (ns per run, OLS fit) ==";
+  let tests = timing_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"secure-view" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) results [] in
+  let table = Svutil.Table.create [ "test"; "ns/run" ] in
+  List.iter
+    (fun (name, res) ->
+      let est =
+        match Analyze.OLS.estimates res with
+        | Some (v :: _) -> Printf.sprintf "%.0f" v
+        | _ -> "-"
+      in
+      Svutil.Table.add_row table [ name; est ])
+    (List.sort compare rows);
+  Svutil.Table.print table
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let timings_only = List.mem "--timings" args in
+  let no_timings = List.mem "--no-timings" args in
+  let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  if not timings_only then begin
+    print_endline "Provenance Views for Module Privacy - experiment harness";
+    print_endline "(paper-vs-measured record: EXPERIMENTS.md)";
+    List.iter
+      (fun (name, run) -> if selected = [] || List.mem name selected then run ())
+      Experiments.all
+  end;
+  if (not no_timings) && selected = [] then run_timings ()

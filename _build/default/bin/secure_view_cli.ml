@@ -1,0 +1,231 @@
+(* Command-line interface to the Secure-View library.
+
+   secure_view_cli show FILE            print the workflow and its relation
+   secure_view_cli analyze FILE MODULE  standalone privacy analysis
+   secure_view_cli solve FILE           solve the workflow Secure-View problem
+   secure_view_cli check FILE --hide... validate a proposed view
+
+   FILE uses the format documented in Wf.Parse. *)
+
+open Cmdliner
+
+let load path =
+  match Wf.Parse.parse_file path with
+  | Ok spec -> spec
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+let gamma_of (spec : Wf.Parse.spec) name =
+  Option.value ~default:spec.Wf.Parse.gamma
+    (List.assoc_opt name spec.Wf.Parse.gamma_overrides)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Workflow description file.")
+
+(* show ---------------------------------------------------------------- *)
+
+let show_cmd =
+  let run file =
+    let spec = load file in
+    let w = spec.Wf.Parse.workflow in
+    Printf.printf "modules: %s\n" (String.concat " -> " (Wf.Workflow.module_names w));
+    Printf.printf "initial inputs: %s\n" (String.concat ", " (Wf.Workflow.initial_names w));
+    Printf.printf "final outputs: %s\n" (String.concat ", " (Wf.Workflow.final_names w));
+    Printf.printf "data sharing degree gamma = %d\n\n"
+      (Wf.Workflow.data_sharing_degree w);
+    Svutil.Table.print (Rel.Relation.to_table (Wf.Workflow.relation w))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print the workflow structure and its provenance relation.")
+    Term.(const run $ file_arg)
+
+(* analyze -------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let module_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"MODULE" ~doc:"Module to analyze.")
+  in
+  let run file name =
+    let spec = load file in
+    match Wf.Workflow.find_module spec.Wf.Parse.workflow name with
+    | None ->
+        Printf.eprintf "error: no module %s\n" name;
+        exit 1
+    | Some m ->
+        let gamma = gamma_of spec name in
+        Printf.printf "standalone analysis of %s for Gamma = %d\n" name gamma;
+        let minimal = Privacy.Standalone.minimal_hidden_subsets m ~gamma in
+        Printf.printf "minimal safe hidden sets: %s\n"
+          (if minimal = [] then "(none - the requirement is unachievable)"
+           else String.concat " " (List.map (fun h -> "{" ^ String.concat "," h ^ "}") minimal));
+        let cost a = List.assoc a spec.Wf.Parse.costs in
+        (match Privacy.Standalone.min_cost_hidden m ~gamma ~cost with
+        | Some (hidden, c) ->
+            Printf.printf "cheapest safe hidden set: {%s} at cost %s\n"
+              (String.concat "," hidden) (Rat.to_string c)
+        | None -> print_endline "no safe subset exists");
+        Format.printf "derived requirement: %a@." Core.Requirement.pp
+          (Core.Derive.requirement m ~gamma)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Standalone privacy analysis of one module.")
+    Term.(const run $ file_arg $ module_arg)
+
+(* solve ----------------------------------------------------------------- *)
+
+let method_arg =
+  let methods = Arg.enum [ ("all", `All); ("greedy", `Greedy); ("lp", `Lp); ("exact", `Exact) ] in
+  Arg.(value & opt methods `All & info [ "m"; "method" ] ~docv:"METHOD"
+         ~doc:"Solver: greedy, lp (rounding), exact (branch and bound), or all.")
+
+let instance_of spec =
+  let w = spec.Wf.Parse.workflow in
+  let cost a = List.assoc a spec.Wf.Parse.costs in
+  Core.Instance.of_workflow w ~gamma:spec.Wf.Parse.gamma
+    ~gamma_overrides:spec.Wf.Parse.gamma_overrides ~cost
+    ~publics:spec.Wf.Parse.publics ()
+
+let emit_view_arg =
+  Arg.(value & flag & info [ "emit-view" ]
+         ~doc:"Also print the published view relation pi_V(R) and the module renaming.")
+
+let solve_cmd =
+  let run file meth emit_view =
+    let spec = load file in
+    let inst = instance_of spec in
+    let print_sol label s = Format.printf "%-8s %a@." label Core.Solution.pp s in
+    let greedy () = print_sol "greedy" (Core.Greedy.solve inst) in
+    let lp () =
+      match Core.Set_lp.lp_relaxation inst with
+      | `Optimal (x, bound) ->
+          Format.printf "%-8s %s@." "lp-bound" (Rat.to_string bound);
+          print_sol "lp-round" (Core.Rounding.threshold inst ~x)
+      | `Infeasible -> print_endline "lp: infeasible"
+    in
+    let exact () =
+      match Core.Exact.solve inst with
+      | Some { Core.Exact.solution; proven_optimal } ->
+          print_sol (if proven_optimal then "optimal" else "best") solution;
+          Some solution
+      | None ->
+          print_endline "exact: infeasible";
+          None
+    in
+    let final =
+      match meth with
+      | `All ->
+          greedy ();
+          lp ();
+          exact ()
+      | `Greedy ->
+          greedy ();
+          None
+      | `Lp ->
+          lp ();
+          None
+      | `Exact -> exact ()
+    in
+    if emit_view then begin
+      let solution =
+        match final with Some s -> Some s | None -> (
+          match Core.Exact.solve inst with
+          | Some { Core.Exact.solution; _ } -> Some solution
+          | None -> None)
+      in
+      match solution with
+      | None -> print_endline "no view: instance infeasible"
+      | Some s ->
+          let view = Core.View.materialize spec.Wf.Parse.workflow inst s in
+          Format.printf "@.%a@." Core.View.pp view
+    end
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve the workflow Secure-View problem.")
+    Term.(const run $ file_arg $ method_arg $ emit_view_arg)
+
+(* check ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let hide_arg =
+    Arg.(value & opt (list string) [] & info [ "hide" ] ~docv:"ATTRS"
+           ~doc:"Comma-separated attributes to hide.")
+  in
+  let priv_arg =
+    Arg.(value & opt (list string) [] & info [ "privatize" ] ~docv:"MODULES"
+           ~doc:"Comma-separated public modules to privatize.")
+  in
+  let run file hidden privatized =
+    let spec = load file in
+    let w = spec.Wf.Parse.workflow in
+    let public = List.map fst spec.Wf.Parse.publics in
+    let ok =
+      List.for_all
+        (fun (m : Wf.Wmodule.t) ->
+          List.mem m.Wf.Wmodule.name public
+          || Privacy.Standalone.is_safe m
+               ~visible:(Svutil.Listx.diff (Wf.Wmodule.attr_names m) hidden)
+               ~gamma:(gamma_of spec m.Wf.Wmodule.name))
+        (Wf.Workflow.modules w)
+      && List.for_all
+           (fun p -> List.mem p privatized)
+           (Privacy.Wprivacy.exposed_publics w ~public ~hidden)
+    in
+    let inst = instance_of spec in
+    Printf.printf "view is safe (Theorem 4/8 criterion): %b\n" ok;
+    Printf.printf "cost: %s\n"
+      (Rat.to_string (Core.Instance.cost inst ~hidden ~privatized));
+    exit (if ok then 0 else 1)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Check that a proposed view is safe, and price it.")
+    Term.(const run $ file_arg $ hide_arg $ priv_arg)
+
+(* tradeoff ----------------------------------------------------------- *)
+
+let tradeoff_cmd =
+  let module_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"MODULE" ~doc:"Module to analyze.")
+  in
+  let run file name =
+    let spec = load file in
+    match Wf.Workflow.find_module spec.Wf.Parse.workflow name with
+    | None ->
+        Printf.eprintf "error: no module %s\n" name;
+        exit 1
+    | Some m ->
+        let cost a = List.assoc a spec.Wf.Parse.costs in
+        let max_budget =
+          Rat.sum (List.map cost (Wf.Wmodule.attr_names m))
+        in
+        Printf.printf "privacy/budget trade-off for %s (max useful budget %s)\n" name
+          (Rat.to_string max_budget);
+        let table = Svutil.Table.create [ "budget"; "best Gamma"; "witness hidden set" ] in
+        let rec sweep b =
+          if Rat.leq b max_budget then begin
+            let gamma, hidden =
+              Privacy.Standalone.max_gamma_under_budget m ~cost ~budget:b
+            in
+            Svutil.Table.add_row table
+              [ Rat.to_string b; string_of_int gamma; "{" ^ String.concat "," hidden ^ "}" ];
+            sweep (Rat.add b Rat.one)
+          end
+        in
+        sweep Rat.zero;
+        Svutil.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "tradeoff"
+       ~doc:"Privacy level attainable per hiding budget (Section 6 extension).")
+    Term.(const run $ file_arg $ module_arg)
+
+let setup_logging verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.set_level (Some Logs.Debug) else Logs.set_level (Some Logs.Warning)
+
+let () =
+  (* --verbose anywhere on the command line enables solver tracing. *)
+  setup_logging (Array.exists (( = ) "--verbose") Sys.argv);
+  let argv = Array.of_list (List.filter (( <> ) "--verbose") (Array.to_list Sys.argv)) in
+  let doc = "provenance views for module privacy (PODS 2011 reproduction)" in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group (Cmd.info "secure_view_cli" ~doc)
+          [ show_cmd; analyze_cmd; solve_cmd; check_cmd; tradeoff_cmd ]))

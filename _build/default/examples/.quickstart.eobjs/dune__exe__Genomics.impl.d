@@ -1,0 +1,1 @@
+examples/genomics.ml: Array Core Format List Printf Privacy Rat String Wf

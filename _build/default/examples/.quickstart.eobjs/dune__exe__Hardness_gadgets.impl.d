@@ -1,0 +1,1 @@
+examples/hardness_gadgets.ml: Combinat Core List Rat Reductions Svutil

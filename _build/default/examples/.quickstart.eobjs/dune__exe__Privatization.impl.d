@@ -1,0 +1,1 @@
+examples/privatization.ml: List Privacy String Svutil Wf

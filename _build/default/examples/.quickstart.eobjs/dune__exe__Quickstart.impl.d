@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format List Printf Privacy Rat Rel String Svutil Wf

@@ -1,0 +1,366 @@
+(* Sign + magnitude representation. [mag] is little-endian in base 2^30
+   with no leading (high-index) zero limbs; [sign] is 0 exactly when
+   [mag] is empty. Base 2^30 keeps every intermediate product of two
+   limbs plus carries within OCaml's 63-bit native ints. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let normalize mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let make sign mag =
+  let mag = normalize mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires [a >= b]. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land mask;
+        carry := cur lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+let limb_bits x =
+  let rec go n x = if x = 0 then n else go (n + 1) (x lsr 1) in
+  go 0 x
+
+let shift_left_mag mag k =
+  if Array.length mag = 0 then [||]
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let la = Array.length mag in
+    let r = Array.make (la + limbs + 1) 0 in
+    if bits = 0 then Array.blit mag 0 r limbs la
+    else
+      for i = 0 to la - 1 do
+        r.(i + limbs) <- r.(i + limbs) lor ((mag.(i) lsl bits) land mask);
+        r.(i + limbs + 1) <- r.(i + limbs + 1) lor (mag.(i) lsr (base_bits - bits))
+      done;
+    r
+  end
+
+let shift_right_mag mag k =
+  let limbs = k / base_bits and bits = k mod base_bits in
+  let la = Array.length mag in
+  if limbs >= la then [||]
+  else begin
+    let lr = la - limbs in
+    let r = Array.make lr 0 in
+    for i = 0 to lr - 1 do
+      let lo = mag.(i + limbs) lsr bits in
+      let hi =
+        if bits = 0 || i + limbs + 1 >= la then 0
+        else (mag.(i + limbs + 1) lsl (base_bits - bits)) land mask
+      in
+      r.(i) <- lo lor hi
+    done;
+    r
+  end
+
+(* Division of a magnitude by a single limb [d], 0 < d < base. *)
+let divmod_mag_small u d =
+  let n = Array.length u in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor u.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth algorithm D. Requires [Array.length v >= 2] and [u >= v]. *)
+let divmod_knuth u v =
+  let n = Array.length v in
+  let d = base_bits - limb_bits v.(n - 1) in
+  let vn = normalize (shift_left_mag v d) in
+  assert (Array.length vn = n);
+  let un0 = shift_left_mag u d in
+  (* Pad so that [un] has exactly [lu + 1] limbs where [lu >= n]. *)
+  let lu = max n (Array.length (normalize un0)) in
+  let un = Array.make (lu + 1) 0 in
+  Array.blit un0 0 un 0 (min (Array.length un0) (lu + 1));
+  let m = lu - n in
+  let q = Array.make (m + 1) 0 in
+  for j = m downto 0 do
+    let top = (un.(j + n) lsl base_bits) lor un.(j + n - 1) in
+    let qhat = ref (top / vn.(n - 1)) in
+    let rhat = ref (top mod vn.(n - 1)) in
+    let continue_ = ref true in
+    while
+      !continue_
+      && (!qhat >= base
+          || !qhat * vn.(n - 2) > (!rhat lsl base_bits) lor un.(j + n - 2))
+    do
+      decr qhat;
+      rhat := !rhat + vn.(n - 1);
+      if !rhat >= base then continue_ := false
+    done;
+    (* Multiply and subtract. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * vn.(i)) + !carry in
+      carry := p lsr base_bits;
+      let s = un.(i + j) - (p land mask) - !borrow in
+      if s < 0 then begin
+        un.(i + j) <- s + base;
+        borrow := 1
+      end
+      else begin
+        un.(i + j) <- s;
+        borrow := 0
+      end
+    done;
+    let s = un.(j + n) - !carry - !borrow in
+    if s < 0 then begin
+      (* qhat was one too large: add the divisor back. *)
+      un.(j + n) <- s + base;
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let s = un.(i + j) + vn.(i) + !c in
+        un.(i + j) <- s land mask;
+        c := s lsr base_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !c) land mask
+    end
+    else un.(j + n) <- s;
+    q.(j) <- !qhat
+  done;
+  let r = shift_right_mag (Array.sub un 0 n) d in
+  (q, r)
+
+let divmod_mag u v =
+  match Array.length v with
+  | 0 -> raise Division_by_zero
+  | _ when cmp_mag u v < 0 -> ([||], u)
+  | 1 ->
+      let q, r = divmod_mag_small u v.(0) in
+      (q, if r = 0 then [||] else [| r |])
+  | _ -> divmod_knuth u v
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Work on the negative side so that [abs min_int] never occurs. *)
+    let rec digits m acc =
+      if m = 0 then acc else digits (m / base) (-(m mod base) :: acc)
+    in
+    let ds = List.rev (digits (if n > 0 then -n else n) []) in
+    make sign (Array.of_list ds)
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let equal a b = a.sign = b.sign && cmp_mag a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let succ t = add t one
+let pred t = sub t one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = divmod_mag a.mag b.mag in
+  let q = make (a.sign * b.sign) qm in
+  let r = make a.sign rm in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let factorial n =
+  if n < 0 then invalid_arg "Bigint.factorial: negative argument";
+  let rec go acc i = if i > n then acc else go (mul acc (of_int i)) (i + 1) in
+  go one 2
+
+let mul_int t k = mul t (of_int k)
+let add_int t k = add t (of_int k)
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left: negative shift";
+  if t.sign = 0 then zero else make t.sign (shift_left_mag t.mag k)
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right: negative shift";
+  if t.sign = 0 then zero else make t.sign (shift_right_mag t.mag k)
+
+let num_bits t =
+  let n = Array.length t.mag in
+  if n = 0 then 0 else ((n - 1) * base_bits) + limb_bits t.mag.(n - 1)
+
+let to_int_opt t =
+  (* A native int is at most 63 bits; accept magnitudes up to 62 bits and
+     rebuild by horner, which cannot overflow then. *)
+  if num_bits t > 62 then None
+  else begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) t.mag 0 in
+    Some (if t.sign < 0 then -v else v)
+  end
+
+let to_int_exn t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int_exn: value does not fit in int"
+
+let to_float t =
+  let m = Array.fold_right (fun limb acc -> (acc *. 1073741824.0) +. float_of_int limb) t.mag 0.0 in
+  if t.sign < 0 then -.m else m
+
+let chunk_base = 1_000_000_000
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    let rec groups mag acc =
+      if Array.length (normalize mag) = 0 then acc
+      else
+        let q, r = divmod_mag_small mag chunk_base in
+        groups (normalize q) (r :: acc)
+    in
+    (match groups t.mag [] with
+    | [] -> assert false
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun g -> Buffer.add_string buf (Printf.sprintf "%09d" g)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  String.iteri
+    (fun i c -> if i >= start && not ('0' <= c && c <= '9') then invalid_arg "Bigint.of_string: invalid digit")
+    s;
+  let ndigits = len - start in
+  let first_chunk = ((ndigits - 1) mod 9) + 1 in
+  let acc = ref zero in
+  let pos = ref start in
+  let remaining = ref ndigits in
+  while !remaining > 0 do
+    let take = if !pos = start then first_chunk else 9 in
+    let chunk = int_of_string (String.sub s !pos take) in
+    acc := add_int (mul_int !acc chunk_base) chunk;
+    pos := !pos + take;
+    remaining := !remaining - take
+  done;
+  if negative then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,92 @@
+(** Arbitrary-precision signed integers.
+
+    Implemented from scratch (sign + little-endian magnitude in base
+    [2^30]) because no bignum package is available in this environment
+    and the library needs exact arithmetic in two places: the rational
+    simplex solver, and the possible-world counts of Proposition 2,
+    which are doubly exponential in the number of attributes.
+
+    Division truncates toward zero, like OCaml's native [/] and [mod]:
+    [rem a b] has the sign of [a]. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [None] if the value does not fit in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit. *)
+
+val of_string : string -> t
+(** Decimal, with optional leading [-] or [+].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val to_float : t -> float
+(** Best-effort conversion; may lose precision or overflow to infinity. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r], [|r| < |b|], truncation
+    toward zero (so [r] has the sign of [a], or is zero).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0]. @raise Invalid_argument on negative [e]. *)
+
+val factorial : int -> t
+(** @raise Invalid_argument on negative argument. *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** {1 Bit operations (magnitude shifts)} *)
+
+val shift_left : t -> int -> t
+(** Multiply by [2^k], [k >= 0]. *)
+
+val shift_right : t -> int -> t
+(** Arithmetic-magnitude shift: divide magnitude by [2^k] truncating
+    toward zero (so [-5 >> 1 = -2]). *)
+
+val num_bits : t -> int
+(** Bits in the magnitude; [num_bits zero = 0]. *)

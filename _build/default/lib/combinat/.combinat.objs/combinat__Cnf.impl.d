@@ -1,0 +1,1 @@
+lib/combinat/cnf.ml: Array Format List Printf String Svutil

@@ -1,0 +1,1 @@
+lib/combinat/cnf.mli: Format Svutil

@@ -1,0 +1,1 @@
+lib/combinat/label_cover.mli: Svutil

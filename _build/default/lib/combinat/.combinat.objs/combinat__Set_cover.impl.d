@@ -1,0 +1,1 @@
+lib/combinat/set_cover.ml: Array Fun List Svutil

@@ -1,0 +1,1 @@
+lib/combinat/set_cover.mli: Svutil

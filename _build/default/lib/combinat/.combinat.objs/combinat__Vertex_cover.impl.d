@@ -1,0 +1,1 @@
+lib/combinat/vertex_cover.ml: Array List Svutil

@@ -1,0 +1,1 @@
+lib/combinat/vertex_cover.mli: Svutil

@@ -1,0 +1,47 @@
+type literal = { var : int; positive : bool }
+type t = { n_vars : int; clauses : literal list list }
+
+let make ~n_vars ~clauses =
+  if n_vars < 1 then invalid_arg "Cnf.make: need at least one variable";
+  let clauses =
+    List.map
+      (fun clause ->
+        if clause = [] then invalid_arg "Cnf.make: empty clause";
+        List.map
+          (fun (var, positive) ->
+            if var < 0 || var >= n_vars then invalid_arg "Cnf.make: variable out of range";
+            { var; positive })
+          clause)
+      clauses
+  in
+  { n_vars; clauses }
+
+let eval t assignment =
+  List.for_all
+    (List.exists (fun { var; positive } -> assignment.(var) = positive))
+    t.clauses
+
+let satisfiable t =
+  if t.n_vars > 25 then invalid_arg "Cnf.satisfiable: too many variables";
+  let rec go mask =
+    if mask >= 1 lsl t.n_vars then None
+    else
+      let assignment = Array.init t.n_vars (fun i -> mask land (1 lsl i) <> 0) in
+      if eval t assignment then Some assignment else go (mask + 1)
+  in
+  go 0
+
+let random rng ~n_vars ~n_clauses ~clause_size =
+  let clause () =
+    let vars = Svutil.Rng.sample rng clause_size (Svutil.Listx.range n_vars) in
+    List.map (fun v -> (v, Svutil.Rng.bool rng)) vars
+  in
+  make ~n_vars ~clauses:(List.init n_clauses (fun _ -> clause ()))
+
+let pp fmt t =
+  let lit { var; positive } = Printf.sprintf "%sx%d" (if positive then "" else "!") var in
+  Format.pp_print_string fmt
+    (String.concat " & "
+       (List.map
+          (fun clause -> "(" ^ String.concat " | " (List.map lit clause) ^ ")")
+          t.clauses))

@@ -1,0 +1,18 @@
+(** Boolean CNF formulas with a brute-force satisfiability check — the
+    source problem of Theorem 2's co-NP-hardness reduction. *)
+
+type literal = { var : int; positive : bool }
+type t = { n_vars : int; clauses : literal list list }
+
+val make : n_vars:int -> clauses:(int * bool) list list -> t
+(** Clauses as lists of [(variable, positive?)].
+    @raise Invalid_argument on out-of-range variables or empty clauses. *)
+
+val eval : t -> bool array -> bool
+
+val satisfiable : t -> bool array option
+(** Brute force over the [2^n] assignments; small formulas only. *)
+
+val random : Svutil.Rng.t -> n_vars:int -> n_clauses:int -> clause_size:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type t = {
+  left : int;
+  right : int;
+  labels : int;
+  edges : ((int * int) * (int * int) list) list;
+}
+
+let make ~left ~right ~labels ~edges =
+  if left < 1 || right < 1 || labels < 1 then
+    invalid_arg "Label_cover.make: empty side or label set";
+  let keys = List.map fst edges in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg "Label_cover.make: duplicate edges";
+  List.iter
+    (fun ((u, w), rel) ->
+      if u < 0 || u >= left || w < 0 || w >= right then
+        invalid_arg "Label_cover.make: vertex out of range";
+      if rel = [] then invalid_arg "Label_cover.make: empty relation";
+      List.iter
+        (fun (l1, l2) ->
+          if l1 < 0 || l1 >= labels || l2 < 0 || l2 >= labels then
+            invalid_arg "Label_cover.make: label out of range")
+        rel)
+    edges;
+  { left; right; labels; edges }
+
+type assignment = { left_labels : int list array; right_labels : int list array }
+
+let cost a =
+  let count arr = Array.fold_left (fun acc ls -> acc + List.length ls) 0 arr in
+  count a.left_labels + count a.right_labels
+
+let is_feasible t a =
+  List.for_all
+    (fun ((u, w), rel) ->
+      List.exists
+        (fun (l1, l2) -> List.mem l1 a.left_labels.(u) && List.mem l2 a.right_labels.(w))
+        rel)
+    t.edges
+
+(* Minimal feasible assignments are unions of one admissible pair per
+   edge, so enumerating those choices is exact. *)
+let exact t =
+  let best = ref None in
+  let rec go acc = function
+    | [] ->
+        let a =
+          {
+            left_labels = Array.make t.left [];
+            right_labels = Array.make t.right [];
+          }
+        in
+        List.iter
+          (fun ((u, w), (l1, l2)) ->
+            if not (List.mem l1 a.left_labels.(u)) then
+              a.left_labels.(u) <- l1 :: a.left_labels.(u);
+            if not (List.mem l2 a.right_labels.(w)) then
+              a.right_labels.(w) <- l2 :: a.right_labels.(w))
+          acc;
+        let c = cost a in
+        (match !best with
+        | Some (c', _) when c' <= c -> ()
+        | _ -> best := Some (c, a))
+    | (key, rel) :: rest ->
+        List.iter (fun pair -> go ((key, pair) :: acc) rest) rel
+  in
+  go [] t.edges;
+  match !best with
+  | Some (_, a) -> a
+  | None ->
+      {
+        left_labels = Array.make t.left [];
+        right_labels = Array.make t.right [];
+      }
+
+let random rng ~left ~right ~labels ~edge_prob =
+  let random_rel () =
+    let all =
+      List.concat_map
+        (fun l1 -> List.map (fun l2 -> (l1, l2)) (Svutil.Listx.range labels))
+        (Svutil.Listx.range labels)
+    in
+    let chosen = List.filter (fun _ -> Svutil.Rng.float rng < 0.4) all in
+    if chosen = [] then [ Svutil.Rng.pick rng all ] else chosen
+  in
+  let edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun w ->
+            if Svutil.Rng.float rng < edge_prob then Some ((u, w), random_rel ())
+            else None)
+          (Svutil.Listx.range right))
+      (Svutil.Listx.range left)
+  in
+  let edges =
+    if edges = [] then [ ((0, 0), random_rel ()) ] else edges
+  in
+  make ~left ~right ~labels ~edges

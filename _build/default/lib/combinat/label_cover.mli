@@ -1,0 +1,34 @@
+(** Minimum label cover (as used in Appendices B.5.2 and C.4): a
+    bipartite graph, a label set, and a non-empty relation per edge; a
+    feasible assignment gives each vertex a label set such that every
+    edge has an admissible pair, and the cost is the total number of
+    assigned labels. *)
+
+type t = {
+  left : int;
+  right : int;
+  labels : int;
+  edges : ((int * int) * (int * int) list) list;
+      (** ((u, w), admissible label pairs); [u] indexes the left side,
+          [w] the right side, independently. *)
+}
+
+val make :
+  left:int -> right:int -> labels:int -> edges:((int * int) * (int * int) list) list -> t
+(** @raise Invalid_argument on out-of-range vertices/labels, duplicate
+    edges, or an empty relation. *)
+
+type assignment = { left_labels : int list array; right_labels : int list array }
+
+val cost : assignment -> int
+val is_feasible : t -> assignment -> bool
+
+val exact : t -> assignment
+(** Minimum-cost assignment by enumerating one admissible pair per edge
+    (minimal solutions are unions of per-edge choices). Exponential in
+    the number of edges; small instances only. *)
+
+val random : Svutil.Rng.t -> left:int -> right:int -> labels:int -> edge_prob:float -> t
+(** Random instance in which every (u, w) pair becomes an edge with the
+    given probability (at least one edge is forced) and each edge gets a
+    non-empty random relation. *)

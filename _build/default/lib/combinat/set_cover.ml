@@ -1,0 +1,70 @@
+type t = { universe : int; sets : int list array }
+
+let covers sets universe chosen =
+  let covered = Array.make universe false in
+  List.iter (fun i -> List.iter (fun e -> covered.(e) <- true) sets.(i)) chosen;
+  Array.for_all Fun.id covered
+
+let make ~universe ~sets =
+  if universe < 1 then invalid_arg "Set_cover.make: empty universe";
+  List.iter
+    (List.iter (fun e ->
+         if e < 0 || e >= universe then invalid_arg "Set_cover.make: element out of range"))
+    sets;
+  let sets = Array.of_list (List.map (List.sort_uniq compare) sets) in
+  let t = { universe; sets } in
+  if not (covers sets universe (Svutil.Listx.range (Array.length sets))) then
+    invalid_arg "Set_cover.make: sets do not cover the universe";
+  t
+
+let is_cover t chosen = covers t.sets t.universe chosen
+
+let greedy t =
+  let covered = Array.make t.universe false in
+  let remaining () = Array.exists not covered in
+  let fresh i = List.length (List.filter (fun e -> not covered.(e)) t.sets.(i)) in
+  let chosen = ref [] in
+  while remaining () do
+    let best = ref 0 in
+    Array.iteri (fun i _ -> if fresh i > fresh !best then best := i) t.sets;
+    if fresh !best = 0 then failwith "Set_cover.greedy: uncoverable";
+    List.iter (fun e -> covered.(e) <- true) t.sets.(!best);
+    chosen := !best :: !chosen
+  done;
+  List.rev !chosen
+
+let exact t =
+  let best = ref (Svutil.Listx.range (Array.length t.sets)) in
+  let rec go chosen covered =
+    if List.length chosen >= List.length !best then ()
+    else
+      match List.find_index not (Array.to_list covered) with
+      | None -> best := List.rev chosen
+      | Some e ->
+          Array.iteri
+            (fun i members ->
+              if List.mem e members then begin
+                let covered' = Array.copy covered in
+                List.iter (fun x -> covered'.(x) <- true) members;
+                go (i :: chosen) covered'
+              end)
+            t.sets
+  in
+  go [] (Array.make t.universe false);
+  !best
+
+let random rng ~universe ~n_sets =
+  let sets =
+    List.init n_sets (fun _ ->
+        List.filter (fun _ -> Svutil.Rng.bool rng) (Svutil.Listx.range universe))
+  in
+  (* Guarantee coverage: add each uncovered element to a random set. *)
+  let sets = Array.of_list sets in
+  List.iter
+    (fun e ->
+      if not (Array.exists (fun s -> List.mem e s) sets) then begin
+        let i = Svutil.Rng.int rng n_sets in
+        sets.(i) <- e :: sets.(i)
+      end)
+    (Svutil.Listx.range universe);
+  make ~universe ~sets:(Array.to_list sets)

@@ -1,0 +1,24 @@
+(** Minimum set cover — the source problem of the reductions in
+    Appendix B.4.2 and Appendix C.2, with the greedy [ln n]
+    approximation used as a baseline in experiment E10. *)
+
+type t = { universe : int; sets : int list array }
+(** Elements are [0 .. universe-1]; [sets.(i)] lists the elements of
+    [S_i]. *)
+
+val make : universe:int -> sets:int list list -> t
+(** @raise Invalid_argument if an element is out of range or the sets do
+    not cover the universe. *)
+
+val is_cover : t -> int list -> bool
+
+val greedy : t -> int list
+(** Classic greedy: repeatedly pick the set covering the most uncovered
+    elements. An [H_n]-approximation. *)
+
+val exact : t -> int list
+(** Minimum cover by branch and bound (branch on the sets containing the
+    lowest uncovered element). Exponential; small instances only. *)
+
+val random : Svutil.Rng.t -> universe:int -> n_sets:int -> t
+(** Random instance, patched to guarantee coverage. *)

@@ -1,0 +1,73 @@
+type t = { n : int; edges : (int * int) list }
+
+let make ~n ~edges =
+  let norm (u, v) =
+    if u < 0 || v < 0 || u >= n || v >= n then
+      invalid_arg "Vertex_cover.make: endpoint out of range";
+    if u = v then invalid_arg "Vertex_cover.make: loop";
+    (min u v, max u v)
+  in
+  { n; edges = List.sort_uniq compare (List.map norm edges) }
+
+let degree t v =
+  List.length (List.filter (fun (a, b) -> a = v || b = v) t.edges)
+
+let is_cubic t = List.for_all (fun v -> degree t v = 3) (Svutil.Listx.range t.n)
+
+let is_cover t chosen =
+  List.for_all (fun (u, v) -> List.mem u chosen || List.mem v chosen) t.edges
+
+let exact t =
+  let best = ref (Svutil.Listx.range t.n) in
+  let rec go chosen edges =
+    if List.length chosen >= List.length !best then ()
+    else
+      match edges with
+      | [] -> best := chosen
+      | (u, v) :: _ ->
+          let touch w (a, b) = a = w || b = w in
+          go (u :: chosen) (List.filter (fun e -> not (touch u e)) edges);
+          go (v :: chosen) (List.filter (fun e -> not (touch v e)) edges)
+  in
+  go [] t.edges;
+  !best
+
+let approx2 t =
+  let covered = Array.make t.n false in
+  let chosen = ref [] in
+  List.iter
+    (fun (u, v) ->
+      if not (covered.(u) || covered.(v)) then begin
+        covered.(u) <- true;
+        covered.(v) <- true;
+        chosen := u :: v :: !chosen
+      end)
+    t.edges;
+  !chosen
+
+let random_cubic rng ~n =
+  if n < 4 || n mod 2 = 1 then
+    invalid_arg "Vertex_cover.random_cubic: need even n >= 4";
+  (* Configuration model: pair up 3 stubs per vertex; retry on loops or
+     multi-edges. *)
+  let rec attempt tries =
+    if tries > 500 then failwith "Vertex_cover.random_cubic: too many rejections";
+    let stubs =
+      Svutil.Rng.shuffle rng
+        (List.concat_map (fun v -> [ v; v; v ]) (Svutil.Listx.range n))
+    in
+    let rec pair = function
+      | [] -> Some []
+      | [ _ ] -> None
+      | u :: v :: rest -> (
+          if u = v then None
+          else match pair rest with None -> None | Some es -> Some ((u, v) :: es))
+    in
+    match pair stubs with
+    | None -> attempt (tries + 1)
+    | Some edges ->
+        let dedup = List.sort_uniq compare (List.map (fun (u, v) -> (min u v, max u v)) edges) in
+        if List.length dedup <> 3 * n / 2 then attempt (tries + 1)
+        else make ~n ~edges:dedup
+  in
+  attempt 0

@@ -1,0 +1,24 @@
+(** Minimum vertex cover — the source of the APX-hardness reduction of
+    Theorem 7 (Appendix B.6.2), which uses cubic graphs. *)
+
+type t = { n : int; edges : (int * int) list }
+
+val make : n:int -> edges:(int * int) list -> t
+(** Simple undirected graph; loops rejected, duplicate edges collapsed
+    (normalized with the smaller endpoint first).
+    @raise Invalid_argument on out-of-range endpoints or loops. *)
+
+val degree : t -> int -> int
+val is_cubic : t -> bool
+val is_cover : t -> int list -> bool
+
+val exact : t -> int list
+(** Minimum cover by branching on an uncovered edge. Small instances. *)
+
+val approx2 : t -> int list
+(** Maximal-matching 2-approximation. *)
+
+val random_cubic : Svutil.Rng.t -> n:int -> t
+(** A random 3-regular graph on [n] vertices ([n] even, [n >= 4]) via
+    the configuration model with rejection.
+    @raise Invalid_argument on odd or too-small [n]. *)

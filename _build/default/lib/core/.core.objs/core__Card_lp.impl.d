@@ -1,0 +1,1 @@
+lib/core/card_lp.ml: Array Instance List Lp Printf Rat Requirement

@@ -1,0 +1,1 @@
+lib/core/card_lp.mli: Instance Lp Rat

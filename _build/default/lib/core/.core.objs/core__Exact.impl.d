@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Card_lp Instance List Lp Rat Requirement Set_lp Solution Svutil

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Instance List Rounding Solution

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Derive Format List Option Printf Rat Requirement String Svutil Wf

@@ -1,0 +1,1 @@
+lib/core/objective.mli: Instance Rat Solution

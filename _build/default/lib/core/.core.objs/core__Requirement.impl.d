@@ -1,0 +1,1 @@
+lib/core/requirement.ml: Format List Printf String Svutil

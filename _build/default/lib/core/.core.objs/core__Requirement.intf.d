@@ -1,0 +1,1 @@
+lib/core/requirement.mli: Format

@@ -1,0 +1,1 @@
+lib/core/rounding.ml: Float Instance List Printf Rat Requirement Solution Svutil

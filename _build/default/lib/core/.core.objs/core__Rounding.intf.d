@@ -1,0 +1,1 @@
+lib/core/rounding.mli: Instance Rat Solution Svutil

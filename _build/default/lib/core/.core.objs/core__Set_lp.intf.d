@@ -1,0 +1,1 @@
+lib/core/set_lp.mli: Instance Lp Rat

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Format Instance List Printf Rat String

@@ -1,0 +1,1 @@
+lib/core/view.ml: Exact Format Greedy Instance List Option Printf Privacy Rel Rounding Set_lp Solution String Svutil Wf

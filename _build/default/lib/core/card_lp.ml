@@ -1,0 +1,142 @@
+module P = Lp.Problem
+module L = Lp.Linexpr
+
+type variant = Full | No_pair_bound | No_sum_bound
+
+type built = {
+  problem : Lp.Problem.snapshot;
+  attr_var : (string * int) list;
+  pub_var : (string * int) list;
+}
+
+let card_of (m : Instance.module_req) =
+  match m.Instance.req with
+  | Requirement.Card l -> l
+  | Requirement.Sets _ ->
+      invalid_arg
+        (Printf.sprintf "Card_lp: module %s has a set requirement" m.Instance.m_name)
+
+let build ?(variant = Full) (inst : Instance.t) =
+  let p = P.create () in
+  let zero_one = Rat.one in
+  let attr_var =
+    List.map
+      (fun a -> (a, P.add_var ~ub:zero_one ~integer:true p ("x_" ^ a)))
+      (Instance.attrs inst)
+  in
+  let xv a = List.assoc a attr_var in
+  let pub_var =
+    List.map
+      (fun (pub : Instance.public_mod) ->
+        let w = P.add_var ~ub:zero_one p ("w_" ^ pub.Instance.p_name) in
+        (* Constraint (21): privatize a public module whenever one of its
+           attributes is hidden. *)
+        List.iter
+          (fun b ->
+            P.add_constraint p
+              (L.of_list [ (w, Rat.one); (xv b, Rat.minus_one) ])
+              P.Ge Rat.zero)
+          pub.Instance.p_attrs;
+        (pub.Instance.p_name, w))
+      inst.Instance.publics
+  in
+  let obj = ref L.empty in
+  List.iter
+    (fun a -> obj := L.add !obj (L.term (xv a) (Instance.attr_cost inst a)))
+    (Instance.attrs inst);
+  List.iter
+    (fun (pub : Instance.public_mod) ->
+      obj := L.add !obj (L.term (List.assoc pub.Instance.p_name pub_var) pub.Instance.p_cost))
+    inst.Instance.publics;
+  P.set_objective p !obj;
+  List.iter
+    (fun (m : Instance.module_req) ->
+      let card = card_of m in
+      let mname = m.Instance.m_name in
+      let r_vars =
+        List.mapi
+          (fun j _ -> P.add_var ~ub:zero_one ~integer:true p (Printf.sprintf "r_%s_%d" mname j))
+          card
+      in
+      (* (1): some option is selected. *)
+      P.add_constraint p (L.sum_of_vars r_vars) P.Ge Rat.one;
+      (* y / z credit variables per option. *)
+      let y_vars =
+        List.map
+          (fun b ->
+            ( b,
+              List.mapi
+                (fun j _ -> P.add_var ~ub:zero_one p (Printf.sprintf "y_%s_%s_%d" mname b j))
+                card ))
+          m.Instance.inputs
+      in
+      let z_vars =
+        List.map
+          (fun b ->
+            ( b,
+              List.mapi
+                (fun j _ -> P.add_var ~ub:zero_one p (Printf.sprintf "z_%s_%s_%d" mname b j))
+                card ))
+          m.Instance.outputs
+      in
+      List.iteri
+        (fun j (alpha, beta) ->
+          let rj = List.nth r_vars j in
+          (* (2): sum_b y_bij >= alpha * r_ij. *)
+          let y_sum = L.sum_of_vars (List.map (fun (_, ys) -> List.nth ys j) y_vars) in
+          P.add_constraint p
+            (L.add y_sum (L.term rj (Rat.of_int (-alpha))))
+            P.Ge Rat.zero;
+          (* (3): sum_b z_bij >= beta * r_ij. *)
+          let z_sum = L.sum_of_vars (List.map (fun (_, zs) -> List.nth zs j) z_vars) in
+          P.add_constraint p
+            (L.add z_sum (L.term rj (Rat.of_int (-beta))))
+            P.Ge Rat.zero;
+          (* (6)/(7): credits only flow through the selected option. *)
+          if variant <> No_pair_bound then begin
+            List.iter
+              (fun (_, ys) ->
+                P.add_constraint p
+                  (L.of_list [ (List.nth ys j, Rat.one); (rj, Rat.minus_one) ])
+                  P.Le Rat.zero)
+              y_vars;
+            List.iter
+              (fun (_, zs) ->
+                P.add_constraint p
+                  (L.of_list [ (List.nth zs j, Rat.one); (rj, Rat.minus_one) ])
+                  P.Le Rat.zero)
+              z_vars
+          end)
+        card;
+      (* (4)/(5): an attribute only gives credit if it is hidden. *)
+      let couple vars =
+        List.iter
+          (fun (b, per_j) ->
+            match variant with
+            | No_sum_bound ->
+                List.iter
+                  (fun v ->
+                    P.add_constraint p
+                      (L.of_list [ (v, Rat.one); (xv b, Rat.minus_one) ])
+                      P.Le Rat.zero)
+                  per_j
+            | Full | No_pair_bound ->
+                P.add_constraint p
+                  (L.add (L.sum_of_vars per_j) (L.term (xv b) Rat.minus_one))
+                  P.Le Rat.zero)
+          vars
+      in
+      couple y_vars;
+      couple z_vars)
+    inst.Instance.mods;
+  { problem = P.snapshot p; attr_var; pub_var }
+
+let lp_relaxation ?variant ?(fast = false) inst =
+  let { problem; attr_var; _ } = build ?variant inst in
+  let relaxed = P.relax problem in
+  let solve = if fast then Lp.Simplex.Fast.solve else Lp.Simplex.Exact.solve in
+  match solve relaxed with
+  | Lp.Simplex.Optimal { objective; values } ->
+      `Optimal ((fun a -> values.(List.assoc a attr_var)), objective)
+  | Lp.Simplex.Infeasible -> `Infeasible
+  | Lp.Simplex.Unbounded -> assert false (* bounded: all vars in [0,1] *)

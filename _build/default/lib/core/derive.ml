@@ -1,0 +1,48 @@
+module M = Wf.Wmodule
+module St = Privacy.Standalone
+module Listx = Svutil.Listx
+
+let sets_requirement m ~gamma =
+  let inputs = M.input_names m in
+  St.minimal_hidden_subsets m ~gamma
+  |> List.map (fun hidden ->
+         (Listx.inter hidden inputs, Listx.diff hidden inputs))
+
+(* Safety of every hidden subset, grouped by profile (|H n I|, |H n O|). *)
+let profile_table m ~gamma =
+  let inputs = M.input_names m in
+  let profiles = Hashtbl.create 16 in
+  Svutil.Subset.iter (M.attr_names m) (fun hidden ->
+      let profile =
+        ( List.length (Listx.inter hidden inputs),
+          List.length (Listx.diff hidden inputs) )
+      in
+      let safe = St.is_hidden_safe m ~hidden ~gamma in
+      let all, any =
+        Option.value ~default:(true, false) (Hashtbl.find_opt profiles profile)
+      in
+      Hashtbl.replace profiles profile (all && safe, any || safe));
+  profiles
+
+let sound_cardinality m ~gamma =
+  let profiles = profile_table m ~gamma in
+  Hashtbl.fold
+    (fun p (all_safe, _) acc -> if all_safe then p :: acc else acc)
+    profiles []
+  |> Requirement.normalize_card
+
+let exact_cardinality m ~gamma =
+  let card = sound_cardinality m ~gamma in
+  let inputs = M.input_names m and outputs = M.output_names m in
+  let exact = ref true in
+  Svutil.Subset.iter (M.attr_names m) (fun hidden ->
+      let by_card =
+        Requirement.is_satisfied (Requirement.Card card) ~inputs ~outputs ~hidden
+      in
+      if by_card <> St.is_hidden_safe m ~hidden ~gamma then exact := false);
+  if !exact then Some card else None
+
+let requirement m ~gamma =
+  match exact_cardinality m ~gamma with
+  | Some card when card <> [] -> Requirement.Card card
+  | _ -> Requirement.Sets (sets_requirement m ~gamma)

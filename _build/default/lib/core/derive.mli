@@ -1,0 +1,33 @@
+(** Deriving requirement lists from module functionality.
+
+    Section 3.2 notes that the (exponential) standalone analysis of a
+    module is amortized across the many workflows that reuse it; this
+    module is that analysis. It produces the per-module requirement
+    lists consumed by the workflow Secure-View solvers.
+
+    Cardinality lists are {e sound under-approximations}: Example 6 says
+    hiding {e any} k inputs of a one-one module is safe, but such a
+    module can also have asymmetric safe sets (e.g. one input plus a
+    different position's output) that no (alpha, beta) pair captures.
+    {!sound_cardinality} computes the uniformly-safe profiles;
+    {!exact_cardinality} additionally checks that nothing is lost. *)
+
+val sets_requirement : Wf.Wmodule.t -> gamma:int -> Requirement.sets
+(** The minimal safe hidden subsets (an antichain, per Proposition 1),
+    split into (input, output) parts. Exact by construction. *)
+
+val sound_cardinality : Wf.Wmodule.t -> gamma:int -> Requirement.cardinality
+(** The minimal pairs [(alpha, beta)] such that hiding {e every} choice
+    of [alpha] inputs and [beta] outputs is safe — the encoding the
+    paper's cardinality variant takes as input (Section 4.2). May be
+    empty, and may under-approximate the safe sets. *)
+
+val exact_cardinality : Wf.Wmodule.t -> gamma:int -> Requirement.cardinality option
+(** [Some list] iff {!sound_cardinality} captures standalone safety
+    exactly (satisfying the list is equivalent to safety for every
+    hidden subset). *)
+
+val requirement : Wf.Wmodule.t -> gamma:int -> Requirement.t
+(** The compact cardinality form when it is exact and non-empty
+    (one-one and majority modules of Example 6), the set form
+    otherwise. *)

@@ -1,0 +1,54 @@
+type outcome = { solution : Solution.t; proven_optimal : bool }
+
+let all_cardinality inst =
+  List.for_all
+    (fun (m : Instance.module_req) ->
+      match m.Instance.req with Requirement.Card _ -> true | Requirement.Sets _ -> false)
+    inst.Instance.mods
+
+let build_ip inst =
+  if all_cardinality inst then
+    let { Card_lp.problem; attr_var; _ } = Card_lp.build inst in
+    (problem, attr_var)
+  else
+    let { Set_lp.problem; attr_var; _ } = Set_lp.build inst in
+    (problem, attr_var)
+
+let solve ?(node_limit = 50_000) ?(fast = true) inst =
+  let problem, attr_var = build_ip inst in
+  let solve_ilp =
+    if fast then Lp.Ilp.Fast.solve ~node_limit else Lp.Ilp.Exact.solve ~node_limit
+  in
+  let finish ~proven values =
+    let hidden =
+      List.filter_map
+        (fun (a, v) -> if Rat.geq values.(v) (Rat.of_ints 1 2) then Some a else None)
+        attr_var
+    in
+    let solution = Solution.of_hidden inst hidden in
+    assert (Solution.is_feasible inst solution);
+    Some { solution; proven_optimal = proven }
+  in
+  match solve_ilp problem with
+  | Lp.Ilp.Optimal { values; _ } -> finish ~proven:true values
+  | Lp.Ilp.Feasible { values; _ } -> finish ~proven:false values
+  | Lp.Ilp.Infeasible -> None
+  | Lp.Ilp.Unknown -> None
+  | Lp.Ilp.Unbounded -> assert false (* all variables live in [0,1] *)
+
+let brute_force inst =
+  let best = ref None in
+  Svutil.Subset.iter (Instance.attrs inst) (fun hidden ->
+      let s = Solution.of_hidden inst hidden in
+      if Solution.is_feasible inst s then
+        match !best with
+        | Some b when Solution.compare_cost b s <= 0 -> ()
+        | _ -> best := Some s);
+  !best
+
+let lower_bound ?(fast = false) inst =
+  let result =
+    if all_cardinality inst then Card_lp.lp_relaxation ~fast inst
+    else Set_lp.lp_relaxation ~fast inst
+  in
+  match result with `Optimal (_, obj) -> Some obj | `Infeasible -> None

@@ -1,0 +1,26 @@
+(** Certified optima for Secure-View instances — the baselines the
+    approximation experiments measure against.
+
+    {!solve} runs branch-and-bound on the appropriate integer program
+    (Figure 3 for all-cardinality instances, the set-constraint IP
+    otherwise). {!brute_force} enumerates hidden attribute subsets
+    directly and is used to cross-check the ILP path on small
+    instances. *)
+
+type outcome = {
+  solution : Solution.t;
+  proven_optimal : bool;
+      (** false when the branch-and-bound node limit was reached *)
+}
+
+val solve : ?node_limit:int -> ?fast:bool -> Instance.t -> outcome option
+(** [None] when the instance is infeasible. [fast] uses the float
+    simplex for the relaxations (default true: exact pivoting is the
+    reference but slow on the larger benchmark instances). *)
+
+val brute_force : Instance.t -> Solution.t option
+(** Exhaustive search over hidden attribute subsets. Requires at most 25
+    attributes. *)
+
+val lower_bound : ?fast:bool -> Instance.t -> Rat.t option
+(** The LP-relaxation bound used in approximation-ratio reporting. *)

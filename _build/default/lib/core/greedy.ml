@@ -1,0 +1,5 @@
+let solve inst =
+  let hidden =
+    List.concat_map (Rounding.cheapest_option inst) inst.Instance.mods
+  in
+  Solution.of_hidden inst hidden

@@ -1,0 +1,12 @@
+(** The greedy algorithm of Theorem 7: hide, for every module
+    independently, its cheapest satisfying option, and take the union.
+
+    Under gamma-bounded data sharing this is a (gamma+1)-approximation;
+    Example 5 shows it can be off by Omega(n) when sharing is unbounded.
+    Exposed public modules are privatized afterwards (no guarantee is
+    claimed for that part — Appendix C.2 shows privatization costs make
+    even the no-sharing case set-cover-hard). *)
+
+val solve : Instance.t -> Solution.t
+(** @raise Invalid_argument if some requirement list is empty (the
+    instance is then infeasible). *)

@@ -1,0 +1,20 @@
+let total_utility inst =
+  Rat.sum (List.map (Instance.attr_cost inst) (Instance.attrs inst))
+
+let hidden_cost inst (s : Solution.t) =
+  Rat.sum (List.map (Instance.attr_cost inst) s.Solution.hidden)
+
+let privatization_cost inst (s : Solution.t) =
+  Rat.sub s.Solution.cost (hidden_cost inst s)
+
+let visible_utility inst s = Rat.sub (total_utility inst) (hidden_cost inst s)
+
+let net_utility inst s =
+  Rat.sub (visible_utility inst s) (privatization_cost inst s)
+
+let max_visible_utility ?node_limit inst =
+  (* Maximizing total - c(hidden) - c(privatized) is exactly minimizing
+     the Secure-View objective. *)
+  match Exact.solve ?node_limit inst with
+  | Some { Exact.solution; _ } -> Some (solution, net_utility inst solution)
+  | None -> None

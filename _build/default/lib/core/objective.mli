@@ -1,0 +1,24 @@
+(** Alternate objective (Section 6): maximize the utility of visible
+    data instead of minimizing the cost of hidden data.
+
+    Under the paper's additive cost model the two objectives coincide —
+    [visible utility = total utility - hidden cost] — so the maximizer
+    is exactly the Secure-View minimizer; this module makes that
+    accounting explicit and provides the dual-view solver. Privatization
+    costs are a pure penalty (renaming a module never destroys data
+    utility) and are reported separately. *)
+
+val total_utility : Instance.t -> Rat.t
+(** Sum of all attribute utilities (= hiding costs). *)
+
+val visible_utility : Instance.t -> Solution.t -> Rat.t
+(** Utility retained by the view: total minus hidden attributes' cost. *)
+
+val net_utility : Instance.t -> Solution.t -> Rat.t
+(** {!visible_utility} minus the privatization penalty. *)
+
+val max_visible_utility :
+  ?node_limit:int -> Instance.t -> (Solution.t * Rat.t) option
+(** The safe view retaining maximum net utility, with that utility.
+    Solved through {!Exact.solve}; [None] if the instance is
+    infeasible. *)

@@ -1,0 +1,63 @@
+module Listx = Svutil.Listx
+
+type cardinality = (int * int) list
+type sets = (string list * string list) list
+type t = Card of cardinality | Sets of sets
+
+let lmax = function Card l -> List.length l | Sets l -> List.length l
+
+let normalize_card l =
+  let l = Listx.dedup l in
+  let dominated (a, b) =
+    List.exists (fun (a', b') -> (a', b') <> (a, b) && a' <= a && b' <= b) l
+  in
+  List.filter (fun p -> not (dominated p)) l
+  |> List.sort (fun (a1, b1) (a2, b2) -> compare (a1, -b1) (a2, -b2))
+
+let normalize_sets l =
+  let l =
+    Listx.dedup
+      (List.map (fun (i, o) -> (List.sort_uniq compare i, List.sort_uniq compare o)) l)
+  in
+  let contains (i, o) (i', o') =
+    (* option (i',o') is implied by (i,o) when (i,o) hides less *)
+    Listx.is_subset i i' && Listx.is_subset o o'
+  in
+  List.filter
+    (fun opt -> not (List.exists (fun opt' -> opt' <> opt && contains opt' opt) l))
+    l
+
+let is_satisfied t ~inputs ~outputs ~hidden =
+  let hidden_in = List.length (Listx.inter inputs hidden) in
+  let hidden_out = List.length (Listx.inter outputs hidden) in
+  match t with
+  | Card l -> List.exists (fun (a, b) -> hidden_in >= a && hidden_out >= b) l
+  | Sets l ->
+      List.exists
+        (fun (i, o) -> Listx.is_subset i hidden && Listx.is_subset o hidden)
+        l
+
+let card_to_sets ~inputs ~outputs card =
+  List.concat_map
+    (fun (a, b) ->
+      let in_choices = Svutil.Subset.of_size inputs a in
+      let out_choices = Svutil.Subset.of_size outputs b in
+      List.concat_map (fun i -> List.map (fun o -> (i, o)) out_choices) in_choices)
+    card
+  |> normalize_sets
+
+let to_sets ~inputs ~outputs = function
+  | Sets l -> normalize_sets l
+  | Card l -> card_to_sets ~inputs ~outputs l
+
+let pp fmt = function
+  | Card l ->
+      Format.fprintf fmt "card[%s]"
+        (String.concat "; " (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l))
+  | Sets l ->
+      Format.fprintf fmt "sets[%s]"
+        (String.concat "; "
+           (List.map
+              (fun (i, o) ->
+                Printf.sprintf "({%s},{%s})" (String.concat "," i) (String.concat "," o))
+              l))

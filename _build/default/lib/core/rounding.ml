@@ -1,0 +1,78 @@
+module Rng = Svutil.Rng
+
+let cheapest_subset inst pool k =
+  if k > List.length pool then
+    invalid_arg "Rounding: requirement exceeds attribute count";
+  let sorted =
+    List.sort (fun a b -> Rat.compare (Instance.attr_cost inst a) (Instance.attr_cost inst b)) pool
+  in
+  Svutil.Listx.take k sorted
+
+let option_cost inst attrs = Rat.sum (List.map (Instance.attr_cost inst) attrs)
+
+let cheapest_option inst (m : Instance.module_req) =
+  let candidates =
+    match m.Instance.req with
+    | Requirement.Card l ->
+        List.map
+          (fun (alpha, beta) ->
+            cheapest_subset inst m.Instance.inputs alpha
+            @ cheapest_subset inst m.Instance.outputs beta)
+          l
+    | Requirement.Sets l -> List.map (fun (i, o) -> i @ o) l
+  in
+  match candidates with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "Rounding: module %s has an empty requirement list"
+           m.Instance.m_name)
+  | first :: rest ->
+      List.fold_left
+        (fun best c ->
+          if Rat.lt (option_cost inst c) (option_cost inst best) then c else best)
+        first rest
+
+let satisfied (m : Instance.module_req) ~hidden =
+  Requirement.is_satisfied m.Instance.req ~inputs:m.Instance.inputs
+    ~outputs:m.Instance.outputs ~hidden
+
+let algorithm1 rng inst ~x =
+  let n = max 2 (Instance.n_modules inst) in
+  let log_n = Float.log (float_of_int n) in
+  (* Step 2: independent rounding at probability min(1, 16 x_b log n). *)
+  let hidden =
+    List.filter
+      (fun b ->
+        let p = Float.min 1.0 (16.0 *. Rat.to_float (x b) *. log_n) in
+        Rng.float rng < p)
+      (Instance.attrs inst)
+  in
+  (* Step 3: repair every unsatisfied module with its cheapest option. *)
+  let hidden =
+    List.fold_left
+      (fun hidden m ->
+        if satisfied m ~hidden then hidden else cheapest_option inst m @ hidden)
+      hidden inst.Instance.mods
+  in
+  Solution.of_hidden inst hidden
+
+let threshold inst ~x =
+  (* The LP is built on the set-expanded requirement lists, so the
+     rounding threshold must use that l_max, not the (shorter)
+     cardinality lists'. *)
+  let lmax = max 1 (Instance.lmax (Instance.to_sets inst)) in
+  let cutoff = Rat.of_ints 1 lmax in
+  let hidden = List.filter (fun b -> Rat.geq (x b) cutoff) (Instance.attrs inst) in
+  let s = Solution.of_hidden inst hidden in
+  assert (Solution.is_feasible inst s);
+  s
+
+let best_of n trial =
+  let rec go best i =
+    if i >= n then best
+    else
+      let s = trial i in
+      go (if Solution.compare_cost s best < 0 then s else best) (i + 1)
+  in
+  if n < 1 then invalid_arg "Rounding.best_of: need at least one trial";
+  go (trial 0) 1

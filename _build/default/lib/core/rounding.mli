@@ -1,0 +1,28 @@
+(** Rounding algorithms for the Secure-View LP relaxations.
+
+    {!algorithm1} is the paper's Algorithm 1 (randomized rounding of the
+    Figure 3 LP, Theorem 5's O(log n)-approximation); {!threshold} is
+    the deterministic [1/l_max] rounding of the set-constraint LP
+    (Theorem 6, and Appendix C.4 with privatization). Both always return
+    a feasible solution. *)
+
+val cheapest_option : Instance.t -> Instance.module_req -> string list
+(** The minimum-cost hidden set satisfying one module's requirement
+    ([B_i^min] in Algorithm 1): cheapest [alpha] inputs plus cheapest
+    [beta] outputs minimized over the cardinality list, or the cheapest
+    explicit option for set constraints.
+    @raise Invalid_argument if the requirement list is empty. *)
+
+val algorithm1 :
+  Svutil.Rng.t -> Instance.t -> x:(string -> Rat.t) -> Solution.t
+(** Step 2 hides each attribute [b] independently with probability
+    [min(1, 16 x_b ln n)]; step 3 adds [B_i^min] for every module whose
+    requirement is still unsatisfied. Exposed public modules are
+    privatized. *)
+
+val threshold : Instance.t -> x:(string -> Rat.t) -> Solution.t
+(** Hide [{b : x_b >= 1/l_max}]; privatize exposed publics. *)
+
+val best_of : int -> (int -> Solution.t) -> Solution.t
+(** Cheapest of [n] trials (trial index passed for seeding); a practical
+    refinement over single-shot rounding, used by the ablation bench. *)

@@ -1,0 +1,78 @@
+module P = Lp.Problem
+module L = Lp.Linexpr
+
+type built = {
+  problem : Lp.Problem.snapshot;
+  attr_var : (string * int) list;
+  pub_var : (string * int) list;
+}
+
+let build (inst : Instance.t) =
+  let inst = Instance.to_sets inst in
+  let p = P.create () in
+  let attr_var =
+    List.map
+      (fun a -> (a, P.add_var ~ub:Rat.one ~integer:true p ("x_" ^ a)))
+      (Instance.attrs inst)
+  in
+  let xv a = List.assoc a attr_var in
+  let pub_var =
+    List.map
+      (fun (pub : Instance.public_mod) ->
+        let w = P.add_var ~ub:Rat.one p ("w_" ^ pub.Instance.p_name) in
+        List.iter
+          (fun b ->
+            P.add_constraint p
+              (L.of_list [ (w, Rat.one); (xv b, Rat.minus_one) ])
+              P.Ge Rat.zero)
+          pub.Instance.p_attrs;
+        (pub.Instance.p_name, w))
+      inst.Instance.publics
+  in
+  let obj = ref L.empty in
+  List.iter
+    (fun a -> obj := L.add !obj (L.term (xv a) (Instance.attr_cost inst a)))
+    (Instance.attrs inst);
+  List.iter
+    (fun (pub : Instance.public_mod) ->
+      obj := L.add !obj (L.term (List.assoc pub.Instance.p_name pub_var) pub.Instance.p_cost))
+    inst.Instance.publics;
+  P.set_objective p !obj;
+  List.iter
+    (fun (m : Instance.module_req) ->
+      let options =
+        match m.Instance.req with
+        | Requirement.Sets l -> l
+        | Requirement.Card _ -> assert false (* removed by to_sets *)
+      in
+      let r_vars =
+        List.mapi
+          (fun j _ ->
+            P.add_var ~ub:Rat.one p (Printf.sprintf "r_%s_%d" m.Instance.m_name j))
+          options
+      in
+      (* (15/19): some option selected. *)
+      P.add_constraint p (L.sum_of_vars r_vars) P.Ge Rat.one;
+      (* (16/20): selecting an option hides all its attributes. *)
+      List.iteri
+        (fun j (ins, outs) ->
+          let rj = List.nth r_vars j in
+          List.iter
+            (fun b ->
+              P.add_constraint p
+                (L.of_list [ (xv b, Rat.one); (rj, Rat.minus_one) ])
+                P.Ge Rat.zero)
+            (ins @ outs))
+        options)
+    inst.Instance.mods;
+  { problem = P.snapshot p; attr_var; pub_var }
+
+let lp_relaxation ?(fast = false) inst =
+  let { problem; attr_var; _ } = build inst in
+  let relaxed = P.relax problem in
+  let solve = if fast then Lp.Simplex.Fast.solve else Lp.Simplex.Exact.solve in
+  match solve relaxed with
+  | Lp.Simplex.Optimal { objective; values } ->
+      `Optimal ((fun a -> values.(List.assoc a attr_var)), objective)
+  | Lp.Simplex.Infeasible -> `Infeasible
+  | Lp.Simplex.Unbounded -> assert false

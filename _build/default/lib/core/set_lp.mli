@@ -1,0 +1,27 @@
+(** The LP for Secure-View with set constraints (Appendix B.5.1) and its
+    general-workflow extension with privatization variables (Appendix
+    C.4).
+
+    Variables in [0,1]: [x_b] per attribute, [r_ij] per explicit option,
+    and [w_p] per public module with [w_p >= x_b] for the module's
+    attributes. Rounding at threshold [1/l_max] gives the paper's
+    [l_max]-approximation (Theorems 6 and the C.4 extension).
+
+    Only [x] carries an integrality mark: if [x] is integral and some
+    [r_ij > 0], constraint (16) already forces option [j] to be fully
+    hidden, so the marked IP is exactly the Secure-View problem. *)
+
+type built = {
+  problem : Lp.Problem.snapshot;
+  attr_var : (string * int) list;
+  pub_var : (string * int) list;
+}
+
+val build : Instance.t -> built
+(** Cardinality requirements are first expanded via
+    {!Requirement.card_to_sets}. *)
+
+val lp_relaxation :
+  ?fast:bool ->
+  Instance.t ->
+  [ `Optimal of (string -> Rat.t) * Rat.t | `Infeasible ]

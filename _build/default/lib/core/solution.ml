@@ -1,0 +1,18 @@
+type t = { hidden : string list; privatized : string list; cost : Rat.t }
+
+let of_hidden inst hidden =
+  let hidden = List.sort_uniq compare hidden in
+  let privatized = Instance.required_privatizations inst ~hidden in
+  { hidden; privatized; cost = Instance.cost inst ~hidden ~privatized }
+
+let is_feasible inst t = Instance.feasible inst ~hidden:t.hidden ~privatized:t.privatized
+
+let compare_cost a b = Rat.compare a.cost b.cost
+
+let pp fmt t =
+  Format.fprintf fmt "hide {%s}%s cost %s"
+    (String.concat ", " t.hidden)
+    (match t.privatized with
+    | [] -> ""
+    | ps -> Printf.sprintf " privatize {%s}" (String.concat ", " ps))
+    (Rat.to_string t.cost)

@@ -1,0 +1,14 @@
+(** Secure-View solutions: a hidden attribute set, the privatized public
+    modules, and the total cost [c(V-bar) + c(P-bar)]. *)
+
+type t = { hidden : string list; privatized : string list; cost : Rat.t }
+
+val of_hidden : Instance.t -> string list -> t
+(** Close a hidden set into a full solution: privatize exactly the
+    exposed public modules (Theorem 8's rule) and price the result. *)
+
+val is_feasible : Instance.t -> t -> bool
+
+val compare_cost : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

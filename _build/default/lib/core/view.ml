@@ -1,0 +1,78 @@
+module W = Wf.Workflow
+module R = Rel.Relation
+
+type t = {
+  relation : R.t;
+  visible : string list;
+  hidden : string list;
+  module_names : (string * string) list;
+  solution : Solution.t;
+}
+
+let materialize w inst (solution : Solution.t) =
+  let hidden = solution.Solution.hidden in
+  let visible = Svutil.Listx.diff (Instance.attrs inst) hidden in
+  let relation = R.project (W.relation w) visible in
+  let module_names =
+    List.mapi
+      (fun i name ->
+        if List.mem name solution.Solution.privatized then
+          (name, Printf.sprintf "private_%d" (i + 1))
+        else (name, name))
+      (W.module_names w)
+  in
+  { relation; visible; hidden; module_names; solution }
+
+let secure_view w ~gamma ?(gamma_overrides = []) ~cost ?(publics = [])
+    ?(solver = `Exact) () =
+  let inst = Instance.of_workflow w ~gamma ~gamma_overrides ~cost ~publics () in
+  let solve () =
+    match solver with
+    | `Greedy -> (
+        match Greedy.solve inst with
+        | s -> Ok s
+        | exception Invalid_argument msg -> Error msg)
+    | `Lp_rounding -> (
+        match Set_lp.lp_relaxation inst with
+        | `Optimal (x, _) -> Ok (Rounding.threshold inst ~x)
+        | `Infeasible -> Error "LP relaxation is infeasible")
+    | `Exact -> (
+        match Exact.solve inst with
+        | Some { Exact.solution; _ } -> Ok solution
+        | None -> Error "instance is infeasible")
+  in
+  match solve () with
+  | Error e -> Error e
+  | Ok solution ->
+      let gamma_of name =
+        Option.value ~default:gamma (List.assoc_opt name gamma_overrides)
+      in
+      let public_names = List.map fst publics in
+      let safe =
+        List.for_all
+          (fun (m : Wf.Wmodule.t) ->
+            List.mem m.Wf.Wmodule.name public_names
+            || Privacy.Standalone.is_safe m
+                 ~visible:
+                   (Svutil.Listx.diff (Wf.Wmodule.attr_names m) solution.Solution.hidden)
+                 ~gamma:(gamma_of m.Wf.Wmodule.name))
+          (W.modules w)
+        && List.for_all
+             (fun p -> List.mem p solution.Solution.privatized)
+             (Privacy.Wprivacy.exposed_publics w ~public:public_names
+                ~hidden:solution.Solution.hidden)
+      in
+      if not safe then Error "solver returned an unsafe view (bug)"
+      else Ok (materialize w inst solution)
+
+let to_table t = R.to_table t.relation
+
+let pp fmt t =
+  Format.fprintf fmt "view over {%s} (hidden: {%s})@."
+    (String.concat ", " t.visible)
+    (String.concat ", " t.hidden);
+  List.iter
+    (fun (orig, pub) ->
+      if orig <> pub then Format.fprintf fmt "module %s published as %s@." orig pub)
+    t.module_names;
+  Format.fprintf fmt "%a" R.pp t.relation

@@ -1,0 +1,40 @@
+(** Materializing the secure view.
+
+    The paper's end deliverable is the relation [R' = pi_V(R)] that the
+    workflow owner actually publishes (Section 1: "provides the user
+    with a view R' which is the projection of R over the visible
+    attributes"). This module turns a {!Solution} back into that view,
+    together with the renamed (privatized) module listing, and provides
+    a one-call pipeline from a workflow to a published view. *)
+
+type t = {
+  relation : Rel.Relation.t;  (** [pi_V(R)] over the visible attributes *)
+  visible : string list;
+  hidden : string list;
+  module_names : (string * string) list;
+      (** original name -> published name; privatized public modules get
+          fresh opaque names, everything else is unchanged *)
+  solution : Solution.t;
+}
+
+val materialize : Wf.Workflow.t -> Instance.t -> Solution.t -> t
+(** Project the provenance relation onto the solution's visible
+    attributes and rename the privatized modules. *)
+
+val secure_view :
+  Wf.Workflow.t ->
+  gamma:int ->
+  ?gamma_overrides:(string * int) list ->
+  cost:(string -> Rat.t) ->
+  ?publics:(string * Rat.t) list ->
+  ?solver:[ `Greedy | `Lp_rounding | `Exact ] ->
+  unit ->
+  (t, string) result
+(** End-to-end pipeline: derive requirements, solve Secure-View with the
+    chosen solver (default [`Exact]), validate the result with the
+    Theorem 4/8 criterion, and materialize the view. [Error] explains
+    infeasibility or a failed validation. *)
+
+val to_table : t -> Svutil.Table.t
+
+val pp : Format.formatter -> t -> unit

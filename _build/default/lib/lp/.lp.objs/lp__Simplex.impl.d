@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Field Linexpr List Logs Problem Rat

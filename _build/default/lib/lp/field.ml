@@ -1,0 +1,70 @@
+(* Scalar fields for the simplex solver.
+
+   The solver is a functor so the same pivoting code runs either over
+   exact rationals (gold standard: the paper's approximation guarantees
+   are statements about exact LP optima) or over floats with an epsilon
+   tolerance (fast path for benchmark sweeps). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_rat : Rat.t -> t
+  val to_rat : t -> Rat.t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val compare : t -> t -> int
+
+  val is_zero : t -> bool
+  (** With tolerance in the float instance: pivot candidates smaller than
+      the tolerance are treated as zero. *)
+
+  val to_string : t -> string
+end
+
+module Rat_field : S with type t = Rat.t = struct
+  type t = Rat.t
+
+  let zero = Rat.zero
+  let one = Rat.one
+  let of_rat q = q
+  let to_rat q = q
+  let add = Rat.add
+  let sub = Rat.sub
+  let mul = Rat.mul
+  let div = Rat.div
+  let neg = Rat.neg
+  let compare = Rat.compare
+  let is_zero = Rat.is_zero
+  let to_string = Rat.to_string
+end
+
+module Float_field : S with type t = float = struct
+  type t = float
+
+  let eps = 1e-9
+  let zero = 0.0
+  let one = 1.0
+  let of_rat = Rat.to_float
+
+  let to_rat x =
+    (* Approximate by a dyadic rational; good enough for reporting and
+       for 0/1 branching decisions in the ILP solver. *)
+    let scale = 1 lsl 30 in
+    let n = Float.round (x *. float_of_int scale) in
+    if Float.is_integer x then Rat.of_int (int_of_float x)
+    else Rat.of_ints (int_of_float n) scale
+
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let compare a b = if Float.abs (a -. b) <= eps then 0 else Float.compare a b
+  let is_zero x = Float.abs x <= eps
+  let to_string = string_of_float
+end

@@ -1,0 +1,106 @@
+let src = Logs.Src.create "secure_view.ilp" ~doc:"Branch-and-bound ILP solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result =
+  | Optimal of { objective : Rat.t; values : Rat.t array }
+  | Feasible of { objective : Rat.t; values : Rat.t array }
+  | Infeasible
+  | Unbounded
+  | Unknown
+
+(* Integrality tolerance: needed because the Fast solver reports dyadic
+   approximations of float values. *)
+let eps = Rat.of_ints 1 1_000_000
+
+let frac_part r = Rat.sub r (Rat.of_bigint (Rat.floor r))
+
+let is_integral r =
+  let f = frac_part r in
+  Rat.leq f eps || Rat.geq f (Rat.sub Rat.one eps)
+
+let snap r =
+  (* Nearest integer, as a rational. *)
+  Rat.of_bigint (Rat.floor (Rat.add r (Rat.of_ints 1 2)))
+
+module Make (Solver : Simplex.SOLVER) = struct
+  let solve ?(node_limit = 50_000) (s : Problem.snapshot) =
+    let best : (Rat.t * Rat.t array) option ref = ref None in
+    let nodes = ref 0 in
+    let limit_hit = ref false in
+    let unbounded = ref false in
+    (* Depth-first search over bound refinements. *)
+    let rec go lb ub =
+      if !unbounded then ()
+      else if !nodes >= node_limit then limit_hit := true
+      else begin
+        incr nodes;
+        match Solver.solve (Problem.with_bounds s ~lb ~ub) with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded -> unbounded := true
+        | Simplex.Optimal { objective; values } ->
+            let dominated =
+              match !best with Some (b, _) -> Rat.geq objective b | None -> false
+            in
+            if not dominated then begin
+              (* Pick the integer variable whose value is farthest from
+                 integral (most fractional). *)
+              let branch = ref (-1) in
+              let branch_score = ref Rat.zero in
+              Array.iteri
+                (fun i v ->
+                  if s.Problem.integer.(i) && not (is_integral v) then begin
+                    let f = frac_part v in
+                    let score = Rat.min f (Rat.sub Rat.one f) in
+                    if Rat.gt score !branch_score then begin
+                      branch := i;
+                      branch_score := score
+                    end
+                  end)
+                values;
+              if !branch < 0 then begin
+                (* Integral: snap integer variables and record incumbent. *)
+                let snapped =
+                  Array.mapi
+                    (fun i v -> if s.Problem.integer.(i) then snap v else v)
+                    values
+                in
+                let obj = Linexpr.eval s.Problem.objective (fun v -> snapped.(v)) in
+                match !best with
+                | Some (b, _) when Rat.leq b obj -> ()
+                | _ -> best := Some (obj, snapped)
+              end
+              else begin
+                let i = !branch in
+                let fl = Rat.of_bigint (Rat.floor values.(i)) in
+                (* Floor side first. *)
+                let ub1 = Array.copy ub in
+                ub1.(i) <-
+                  (match ub.(i) with
+                  | None -> Some fl
+                  | Some u -> Some (Rat.min u fl));
+                go (Array.copy lb) ub1;
+                let lb2 = Array.copy lb in
+                lb2.(i) <- Rat.max lb.(i) (Rat.add fl Rat.one);
+                go lb2 (Array.copy ub)
+              end
+            end
+      end
+    in
+    go (Array.copy s.Problem.lb) (Array.copy s.Problem.ub);
+    Log.debug (fun m ->
+        m "explored %d nodes (limit %d, %d vars)%s" !nodes node_limit s.Problem.n
+          (match !best with
+          | Some (obj, _) -> " incumbent " ^ Rat.to_string obj
+          | None -> ""));
+    if !unbounded then Unbounded
+    else
+      match (!best, !limit_hit) with
+      | Some (objective, values), false -> Optimal { objective; values }
+      | Some (objective, values), true -> Feasible { objective; values }
+      | None, true -> Unknown
+      | None, false -> Infeasible
+end
+
+module Exact = Make (Simplex.Exact)
+module Fast = Make (Simplex.Fast)

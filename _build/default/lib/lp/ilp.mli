@@ -1,0 +1,27 @@
+(** Branch-and-bound integer linear programming on top of {!Simplex}.
+
+    Used to compute certified optima of the paper's integer programs
+    (Figure 3 and the set-constraint / privatization IPs), which are the
+    baselines against which the approximation algorithms are measured. *)
+
+type result =
+  | Optimal of { objective : Rat.t; values : Rat.t array }
+      (** Proven optimal over the integrality-marked variables. *)
+  | Feasible of { objective : Rat.t; values : Rat.t array }
+      (** Node limit reached; best incumbent returned. *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** Node limit reached before any incumbent was found. *)
+
+module Make (_ : Simplex.SOLVER) : sig
+  val solve : ?node_limit:int -> Problem.snapshot -> result
+  (** [node_limit] defaults to 50_000 LP relaxation solves. *)
+end
+
+module Exact : sig
+  val solve : ?node_limit:int -> Problem.snapshot -> result
+end
+
+module Fast : sig
+  val solve : ?node_limit:int -> Problem.snapshot -> result
+end

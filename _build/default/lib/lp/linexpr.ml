@@ -1,0 +1,42 @@
+module M = Map.Make (Int)
+
+type t = Rat.t M.t
+
+let empty = M.empty
+
+let add_term m v c =
+  let c' = Rat.add c (Option.value ~default:Rat.zero (M.find_opt v m)) in
+  if Rat.is_zero c' then M.remove v m else M.add v c' m
+
+let term v c = add_term M.empty v c
+
+let of_list l = List.fold_left (fun m (v, c) -> add_term m v c) M.empty l
+
+let to_list t = M.bindings t
+
+let add a b = M.fold (fun v c acc -> add_term acc v c) b a
+
+let scale k t =
+  if Rat.is_zero k then M.empty else M.map (fun c -> Rat.mul k c) t
+
+let neg t = scale Rat.minus_one t
+
+let coeff t v = Option.value ~default:Rat.zero (M.find_opt v t)
+
+let vars t = List.map fst (M.bindings t)
+
+let is_empty = M.is_empty
+
+let eval t assign =
+  M.fold (fun v c acc -> Rat.add acc (Rat.mul c (assign v))) t Rat.zero
+
+let sum_of_vars vs = of_list (List.map (fun v -> (v, Rat.one)) vs)
+
+let pp name fmt t =
+  let terms = to_list t in
+  if terms = [] then Format.pp_print_string fmt "0"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+      (fun fmt (v, c) -> Format.fprintf fmt "%s*%s" (Rat.to_string c) (name v))
+      fmt terms

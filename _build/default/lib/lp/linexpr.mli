@@ -1,0 +1,33 @@
+(** Sparse linear expressions over problem variables (identified by
+    integer index) with rational coefficients. *)
+
+type t
+
+val empty : t
+
+val term : int -> Rat.t -> t
+(** [term v c] is the expression [c * x_v]. *)
+
+val of_list : (int * Rat.t) list -> t
+(** Repeated variables are summed; zero coefficients dropped. *)
+
+val to_list : t -> (int * Rat.t) list
+(** Sorted by variable index; coefficients are non-zero. *)
+
+val add : t -> t -> t
+val scale : Rat.t -> t -> t
+val neg : t -> t
+
+val coeff : t -> int -> Rat.t
+(** Zero when the variable does not occur. *)
+
+val vars : t -> int list
+val is_empty : t -> bool
+
+val eval : t -> (int -> Rat.t) -> Rat.t
+(** Value of the expression under an assignment. *)
+
+val sum_of_vars : int list -> t
+(** Unit-coefficient sum, a common pattern in the paper's IPs. *)
+
+val pp : (int -> string) -> Format.formatter -> t -> unit

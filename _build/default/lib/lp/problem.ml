@@ -1,0 +1,82 @@
+type cmp = Le | Ge | Eq
+
+type snapshot = {
+  n : int;
+  names : string array;
+  lb : Rat.t array;
+  ub : Rat.t option array;
+  integer : bool array;
+  constraints : (Linexpr.t * cmp * Rat.t) array;
+  objective : Linexpr.t;
+}
+
+(* Builder state: fields accumulate in reverse. *)
+type t = {
+  mutable nvars : int;
+  mutable rev_names : string list;
+  mutable rev_lb : Rat.t list;
+  mutable rev_ub : Rat.t option list;
+  mutable rev_integer : bool list;
+  mutable rev_constraints : (Linexpr.t * cmp * Rat.t) list;
+  mutable obj : Linexpr.t;
+}
+
+let create () =
+  {
+    nvars = 0;
+    rev_names = [];
+    rev_lb = [];
+    rev_ub = [];
+    rev_integer = [];
+    rev_constraints = [];
+    obj = Linexpr.empty;
+  }
+
+let add_var ?(lb = Rat.zero) ?ub ?(integer = false) t name =
+  let idx = t.nvars in
+  t.nvars <- idx + 1;
+  t.rev_names <- name :: t.rev_names;
+  t.rev_lb <- lb :: t.rev_lb;
+  t.rev_ub <- ub :: t.rev_ub;
+  t.rev_integer <- integer :: t.rev_integer;
+  idx
+
+let n_vars t = t.nvars
+let var_name t i = List.nth t.rev_names (t.nvars - 1 - i)
+
+let add_constraint t expr cmp rhs =
+  t.rev_constraints <- (expr, cmp, rhs) :: t.rev_constraints
+
+let set_objective t expr = t.obj <- expr
+
+let snapshot t =
+  {
+    n = t.nvars;
+    names = Array.of_list (List.rev t.rev_names);
+    lb = Array.of_list (List.rev t.rev_lb);
+    ub = Array.of_list (List.rev t.rev_ub);
+    integer = Array.of_list (List.rev t.rev_integer);
+    constraints = Array.of_list (List.rev t.rev_constraints);
+    objective = t.obj;
+  }
+
+let with_bounds s ~lb ~ub = { s with lb; ub }
+
+let relax s = { s with integer = Array.map (fun _ -> false) s.integer }
+
+let all_integer s = { s with integer = Array.map (fun _ -> true) s.integer }
+
+let pp fmt s =
+  let name i = s.names.(i) in
+  Format.fprintf fmt "minimize %a@." (Linexpr.pp name) s.objective;
+  Array.iter
+    (fun (expr, cmp, rhs) ->
+      let op = match cmp with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+      Format.fprintf fmt "  %a %s %s@." (Linexpr.pp name) expr op (Rat.to_string rhs))
+    s.constraints;
+  Array.iteri
+    (fun i _ ->
+      Format.fprintf fmt "  %s <= %s%s%s@." (Rat.to_string s.lb.(i)) (name i)
+        (match s.ub.(i) with None -> "" | Some u -> " <= " ^ Rat.to_string u)
+        (if s.integer.(i) then " (int)" else ""))
+    s.names

@@ -1,0 +1,46 @@
+(** Mutable builder for linear / integer-linear programs.
+
+    All problems are minimization problems over variables with rational
+    bounds (default [0 <= x], no upper bound). Integer-marked variables
+    are only interpreted by {!Ilp}; {!Simplex} solves the continuous
+    relaxation of whatever it is given. *)
+
+type cmp = Le | Ge | Eq
+
+type t
+
+type snapshot = private {
+  n : int;
+  names : string array;
+  lb : Rat.t array;
+  ub : Rat.t option array;
+  integer : bool array;
+  constraints : (Linexpr.t * cmp * Rat.t) array;
+  objective : Linexpr.t;
+}
+
+val create : unit -> t
+
+val add_var : ?lb:Rat.t -> ?ub:Rat.t -> ?integer:bool -> t -> string -> int
+(** Returns the variable index. [lb] defaults to 0. *)
+
+val n_vars : t -> int
+val var_name : t -> int -> string
+
+val add_constraint : t -> Linexpr.t -> cmp -> Rat.t -> unit
+val set_objective : t -> Linexpr.t -> unit
+
+val snapshot : t -> snapshot
+
+val with_bounds : snapshot -> lb:Rat.t array -> ub:Rat.t option array -> snapshot
+(** A copy of the snapshot with replaced bound arrays (used by the
+    branch-and-bound solver). *)
+
+val relax : snapshot -> snapshot
+(** Same problem with every integrality mark removed. *)
+
+val all_integer : snapshot -> snapshot
+(** Same problem with every variable marked integral. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable dump of the program (for debugging and docs). *)

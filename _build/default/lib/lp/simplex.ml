@@ -1,0 +1,258 @@
+type result =
+  | Optimal of { objective : Rat.t; values : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+module type SOLVER = sig
+  val solve : Problem.snapshot -> result
+end
+
+let src = Logs.Src.create "secure_view.simplex" ~doc:"Two-phase simplex solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Make (F : Field.S) : SOLVER = struct
+  let iteration_limit = 200_000
+
+  let lt a b = F.compare a b < 0
+  let gt a b = F.compare a b > 0
+
+  (* The tableau works over shifted variables [y_i = x_i - lb_i >= 0];
+     upper bounds become explicit rows. Columns are: [0..n-1] structural,
+     then slacks, then artificials. *)
+  type tableau = {
+    ncols : int;
+    first_art : int;  (** columns >= first_art are artificial *)
+    a : F.t array array;  (** m rows *)
+    b : F.t array;
+    basis : int array;
+  }
+
+  let pivot t ~rc ~row ~col =
+    let m = Array.length t.b in
+    let pv = t.a.(row).(col) in
+    (* Normalize the pivot row. *)
+    for j = 0 to t.ncols - 1 do
+      t.a.(row).(j) <- F.div t.a.(row).(j) pv
+    done;
+    t.b.(row) <- F.div t.b.(row) pv;
+    (* Eliminate the pivot column from the other rows. *)
+    for i = 0 to m - 1 do
+      if i <> row then begin
+        let f = t.a.(i).(col) in
+        if not (F.is_zero f) then begin
+          for j = 0 to t.ncols - 1 do
+            t.a.(i).(j) <- F.sub t.a.(i).(j) (F.mul f t.a.(row).(j))
+          done;
+          t.b.(i) <- F.sub t.b.(i) (F.mul f t.b.(row))
+        end
+      end
+    done;
+    (* And from the reduced-cost row. *)
+    let f = rc.(col) in
+    if not (F.is_zero f) then
+      for j = 0 to t.ncols - 1 do
+        rc.(j) <- F.sub rc.(j) (F.mul f t.a.(row).(j))
+      done;
+    t.basis.(row) <- col
+
+  (* Reduced costs of [cost] under the current basis. *)
+  let reduced_costs t cost =
+    let m = Array.length t.b in
+    let rc = Array.copy cost in
+    for i = 0 to m - 1 do
+      let cb = cost.(t.basis.(i)) in
+      if not (F.is_zero cb) then
+        for j = 0 to t.ncols - 1 do
+          rc.(j) <- F.sub rc.(j) (F.mul cb t.a.(i).(j))
+        done
+    done;
+    rc
+
+  let objective_value t cost =
+    let z = ref F.zero in
+    Array.iteri (fun i bi -> z := F.add !z (F.mul cost.(t.basis.(i)) bi)) t.b;
+    !z
+
+  (* Minimize [cost] over the tableau, entering only [allowed] columns.
+     Bland's rule: lowest-index entering column with negative reduced
+     cost; ties in the ratio test broken by lowest basis variable. *)
+  let optimize t ~cost ~allowed =
+    let m = Array.length t.b in
+    let rc = reduced_costs t cost in
+    let rec loop iter =
+      if iter > iteration_limit then failwith "Simplex: iteration limit exceeded";
+      let entering = ref (-1) in
+      (try
+         for j = 0 to t.ncols - 1 do
+           if allowed j && lt rc.(j) F.zero then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then `Optimal
+      else begin
+        let col = !entering in
+        let row = ref (-1) in
+        let best = ref F.zero in
+        for i = 0 to m - 1 do
+          if gt t.a.(i).(col) F.zero then begin
+            let ratio = F.div t.b.(i) t.a.(i).(col) in
+            if !row < 0 || lt ratio !best
+               || (F.compare ratio !best = 0 && t.basis.(i) < t.basis.(!row))
+            then begin
+              row := i;
+              best := ratio
+            end
+          end
+        done;
+        if !row < 0 then `Unbounded
+        else begin
+          pivot t ~rc ~row:!row ~col;
+          loop (iter + 1)
+        end
+      end
+    in
+    loop 0
+
+  let solve (s : Problem.snapshot) =
+    let n = s.n in
+    let exception Bad_bounds in
+    try
+      (* Shift: y_i = x_i - lb_i. *)
+      let shift_rhs expr rhs =
+        Rat.sub rhs
+          (Rat.sum (List.map (fun (v, c) -> Rat.mul c s.lb.(v)) (Linexpr.to_list expr)))
+      in
+      let rows =
+        Array.to_list s.constraints
+        |> List.map (fun (expr, cmp, rhs) -> (expr, cmp, shift_rhs expr rhs))
+      in
+      (* Upper bounds become rows y_i <= ub_i - lb_i. *)
+      let ub_rows =
+        List.concat
+          (List.init n (fun i ->
+               match s.ub.(i) with
+               | None -> []
+               | Some u ->
+                   let d = Rat.sub u s.lb.(i) in
+                   if Rat.sign d < 0 then raise Bad_bounds
+                   else [ (Linexpr.term i Rat.one, Problem.Le, d) ]))
+      in
+      let rows = Array.of_list (rows @ ub_rows) in
+      let m = Array.length rows in
+      (* Count slack columns. *)
+      let n_slack =
+        Array.fold_left
+          (fun acc (_, cmp, _) -> match cmp with Problem.Eq -> acc | _ -> acc + 1)
+          0 rows
+      in
+      (* Provisional layout; artificial columns are appended after we know
+         which rows need them. *)
+      let first_art = n + n_slack in
+      let a0 = Array.init m (fun _ -> Array.make first_art F.zero) in
+      let b = Array.make m F.zero in
+      let slack_of_row = Array.make m (-1) in
+      let next_slack = ref n in
+      Array.iteri
+        (fun i (expr, cmp, rhs) ->
+          List.iter (fun (v, c) -> a0.(i).(v) <- F.of_rat c) (Linexpr.to_list expr);
+          b.(i) <- F.of_rat rhs;
+          (match cmp with
+          | Problem.Le ->
+              a0.(i).(!next_slack) <- F.one;
+              slack_of_row.(i) <- !next_slack;
+              incr next_slack
+          | Problem.Ge ->
+              a0.(i).(!next_slack) <- F.neg F.one;
+              slack_of_row.(i) <- !next_slack;
+              incr next_slack
+          | Problem.Eq -> ());
+          (* Make the right-hand side non-negative. *)
+          if lt b.(i) F.zero then begin
+            for j = 0 to first_art - 1 do
+              a0.(i).(j) <- F.neg a0.(i).(j)
+            done;
+            b.(i) <- F.neg b.(i)
+          end)
+        rows;
+      (* A row whose slack has coefficient +1 can start with the slack
+         basic; every other row gets an artificial variable. *)
+      let needs_art i =
+        slack_of_row.(i) < 0 || F.compare a0.(i).(slack_of_row.(i)) F.one <> 0
+      in
+      let n_art = ref 0 in
+      for i = 0 to m - 1 do
+        if needs_art i then incr n_art
+      done;
+      let ncols = first_art + !n_art in
+      let a = Array.init m (fun i -> Array.append a0.(i) (Array.make !n_art F.zero)) in
+      let basis = Array.make m (-1) in
+      let next_art = ref first_art in
+      for i = 0 to m - 1 do
+        if needs_art i then begin
+          a.(i).(!next_art) <- F.one;
+          basis.(i) <- !next_art;
+          incr next_art
+        end
+        else basis.(i) <- slack_of_row.(i)
+      done;
+      let t = { ncols; first_art; a; b; basis } in
+      (* Phase 1: minimize the sum of artificials. *)
+      if !n_art > 0 then begin
+        let cost1 = Array.make ncols F.zero in
+        for j = first_art to ncols - 1 do
+          cost1.(j) <- F.one
+        done;
+        (match optimize t ~cost:cost1 ~allowed:(fun _ -> true) with
+        | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+        | `Optimal -> ());
+        if gt (objective_value t cost1) F.zero then raise Exit;
+        (* Drive remaining artificials out of the basis where possible. *)
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= first_art then begin
+            let col = ref (-1) in
+            (try
+               for j = 0 to first_art - 1 do
+                 if not (F.is_zero t.a.(i).(j)) then begin
+                   col := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !col >= 0 then begin
+              let rc = Array.make ncols F.zero in
+              pivot t ~rc ~row:i ~col:!col
+            end
+            (* Otherwise the row is redundant; the artificial stays basic
+               at value zero and can never re-enter or change. *)
+          end
+        done
+      end;
+      (* Phase 2: minimize the real objective; artificials barred. *)
+      let cost2 = Array.make ncols F.zero in
+      List.iter
+        (fun (v, c) -> cost2.(v) <- F.of_rat c)
+        (Linexpr.to_list s.objective);
+      let allowed j = j < first_art in
+      match optimize t ~cost:cost2 ~allowed with
+      | `Unbounded ->
+          Log.debug (fun f -> f "unbounded (%d rows, %d cols)" m ncols);
+          Unbounded
+      | `Optimal ->
+          Log.debug (fun f -> f "optimal (%d rows, %d cols)" m ncols);
+          let y = Array.make n Rat.zero in
+          Array.iteri
+            (fun i v -> if v < n then y.(v) <- F.to_rat t.b.(i))
+            t.basis;
+          let x = Array.init n (fun i -> Rat.add y.(i) s.lb.(i)) in
+          let objective = Linexpr.eval s.objective (fun v -> x.(v)) in
+          Optimal { objective; values = x }
+    with
+    | Bad_bounds -> Infeasible
+    | Exit -> Infeasible
+end
+
+module Exact = Make (Field.Rat_field)
+module Fast = Make (Field.Float_field)

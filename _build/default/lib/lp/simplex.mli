@@ -1,0 +1,25 @@
+(** Two-phase primal simplex with Bland's anti-cycling rule.
+
+    The solver is generic over the scalar {!Field.S}: {!Exact} runs over
+    exact rationals and is the reference used by the paper-faithful
+    experiments; {!Fast} runs over floats with an epsilon tolerance and
+    is used for larger benchmark sweeps. Both report results as exact
+    rationals ({!Field.Float_field.to_rat} introduces a dyadic
+    approximation in the fast instance).
+
+    Integrality marks on variables are ignored here — this solves the
+    continuous relaxation. Use {!Ilp} for integer programs. *)
+
+type result =
+  | Optimal of { objective : Rat.t; values : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+module type SOLVER = sig
+  val solve : Problem.snapshot -> result
+end
+
+module Make (_ : Field.S) : SOLVER
+
+module Exact : SOLVER
+module Fast : SOLVER

@@ -1,0 +1,1 @@
+lib/privacy/standalone.ml: List Rat Rel Svutil Wf

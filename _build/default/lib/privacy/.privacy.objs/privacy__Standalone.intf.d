@@ -1,0 +1,1 @@
+lib/privacy/standalone.mli: Rat Svutil Wf

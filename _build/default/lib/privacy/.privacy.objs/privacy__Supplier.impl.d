@@ -1,0 +1,1 @@
+lib/privacy/supplier.ml: List Option Standalone Wf

@@ -1,0 +1,1 @@
+lib/privacy/supplier.mli: Wf

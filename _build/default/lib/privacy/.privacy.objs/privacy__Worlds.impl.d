@@ -1,0 +1,1 @@
+lib/privacy/worlds.ml: Array Hashtbl List Printf Rel Wf

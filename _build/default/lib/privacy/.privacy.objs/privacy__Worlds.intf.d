@@ -1,0 +1,1 @@
+lib/privacy/worlds.mli: Rel Wf

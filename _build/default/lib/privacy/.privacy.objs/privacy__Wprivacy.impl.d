@@ -1,0 +1,1 @@
+lib/privacy/wprivacy.ml: Hashtbl List Rel Standalone Svutil Wf Worlds

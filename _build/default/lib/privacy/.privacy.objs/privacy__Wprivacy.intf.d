@@ -1,0 +1,1 @@
+lib/privacy/wprivacy.mli: Wf

@@ -1,0 +1,131 @@
+module M = Wf.Wmodule
+module R = Rel.Relation
+module S = Rel.Schema
+module T = Rel.Tuple
+module A = Rel.Attr
+module Listx = Svutil.Listx
+
+let hidden_output_multiplier m ~visible =
+  List.fold_left
+    (fun acc a -> if List.mem (A.name a) visible then acc else acc * A.dom a)
+    1 m.M.outputs
+
+(* Distinct visible-output projections among rows of R that agree with
+   [input] on the visible inputs. *)
+let distinct_visible_outputs m ~visible ~input =
+  let vis_in = Listx.inter (M.input_names m) visible in
+  let vis_out = Listx.inter (M.output_names m) visible in
+  let x_vis = T.project (M.input_schema m) vis_in input in
+  let agreeing =
+    R.select m.M.table (fun sch t -> T.equal (T.project sch vis_in t) x_vis)
+  in
+  if R.is_empty agreeing then
+    invalid_arg "Standalone: input not in pi_I(R)";
+  if vis_out = [] then 1 else R.distinct_values agreeing vis_out
+
+let out_size m ~visible ~input =
+  distinct_visible_outputs m ~visible ~input * hidden_output_multiplier m ~visible
+
+let min_out_size m ~visible =
+  let mult = hidden_output_multiplier m ~visible in
+  List.fold_left
+    (fun acc x -> min acc (distinct_visible_outputs m ~visible ~input:x * mult))
+    max_int (M.defined_inputs m)
+
+let is_safe m ~visible ~gamma = min_out_size m ~visible >= gamma
+
+let is_hidden_safe m ~hidden ~gamma =
+  is_safe m ~visible:(Listx.diff (M.attr_names m) hidden) ~gamma
+
+let safe_visible_subsets m ~gamma =
+  List.filter (fun visible -> is_safe m ~visible ~gamma) (Svutil.Subset.all (M.attr_names m))
+
+let minimal_hidden_subsets m ~gamma =
+  (* Scan hidden sets by increasing size; a set is minimal iff it is safe
+     and contains none of the smaller minimal sets (Proposition 1 makes
+     safety upward closed in the hidden set). *)
+  let minimal = ref [] in
+  List.iter
+    (fun hidden ->
+      if not (List.exists (fun h -> Listx.is_subset h hidden) !minimal) then
+        if is_hidden_safe m ~hidden ~gamma then minimal := hidden :: !minimal)
+    (Svutil.Subset.by_increasing_size (M.attr_names m));
+  List.rev !minimal
+
+let min_cost_search m ~gamma ~cost ~prune ~count =
+  let best = ref None in
+  let found_safe = ref [] in
+  List.iter
+    (fun hidden ->
+      let skip = prune && List.exists (fun h -> Listx.is_subset h hidden) !found_safe in
+      if not skip then begin
+        incr count;
+        if is_hidden_safe m ~hidden ~gamma then begin
+          if prune then found_safe := hidden :: !found_safe;
+          let c = Rat.sum (List.map cost hidden) in
+          match !best with
+          | Some (_, c') when Rat.leq c' c -> ()
+          | _ -> best := Some (hidden, c)
+        end
+      end)
+    (Svutil.Subset.by_increasing_size (M.attr_names m));
+  !best
+
+let min_cost_hidden ?(prune = true) m ~gamma ~cost =
+  min_cost_search m ~gamma ~cost ~prune ~count:(ref 0)
+
+let safe_check_calls m ~gamma ~prune =
+  let count = ref 0 in
+  ignore (min_cost_search m ~gamma ~cost:(fun _ -> Rat.one) ~prune ~count);
+  !count
+
+(* ------------------------------------------------------------------ *)
+(* Section 6 extensions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let min_cost_hidden_general ?(monotone = false) m ~gamma ~cost =
+  let best = ref None in
+  let found_safe = ref [] in
+  List.iter
+    (fun hidden ->
+      let skip =
+        monotone && List.exists (fun h -> Listx.is_subset h hidden) !found_safe
+      in
+      if not skip then
+        if is_hidden_safe m ~hidden ~gamma then begin
+          if monotone then found_safe := hidden :: !found_safe;
+          let c = cost hidden in
+          match !best with
+          | Some (_, c') when Rat.leq c' c -> ()
+          | _ -> best := Some (hidden, c)
+        end)
+    (Svutil.Subset.by_increasing_size (M.attr_names m));
+  !best
+
+let max_gamma_under_budget m ~cost ~budget =
+  let best_gamma = ref 0 and best_hidden = ref [] in
+  List.iter
+    (fun hidden ->
+      let c = Rat.sum (List.map cost hidden) in
+      if Rat.leq c budget then begin
+        let visible = Listx.diff (M.attr_names m) hidden in
+        let level = min_out_size m ~visible in
+        if level > !best_gamma then begin
+          best_gamma := level;
+          best_hidden := hidden
+        end
+      end)
+    (Svutil.Subset.all (M.attr_names m));
+  (!best_gamma, !best_hidden)
+
+let estimate_min_out_size rng m ~visible ~samples =
+  let inputs = M.defined_inputs m in
+  let picked = Svutil.Rng.sample rng samples inputs in
+  let mult = hidden_output_multiplier m ~visible in
+  List.fold_left
+    (fun acc x -> min acc (distinct_visible_outputs m ~visible ~input:x * mult))
+    max_int picked
+
+let check_sampled rng m ~visible ~gamma ~samples =
+  if estimate_min_out_size rng m ~visible ~samples >= gamma then `Safe_on_sample
+  else `Unsafe

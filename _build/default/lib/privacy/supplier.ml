@@ -1,0 +1,23 @@
+module M = Wf.Wmodule
+
+type t = { m : M.t; mutable count : int }
+
+let of_module m = { m; count = 0 }
+
+let query t x =
+  t.count <- t.count + 1;
+  M.apply t.m x
+
+let calls t = t.count
+let reset t = t.count <- 0
+
+let reconstruct t ~inputs =
+  let defined = List.filter_map (fun x -> Option.map (fun y -> (x, y)) (query t x)) inputs in
+  M.of_partial_fun ~name:t.m.M.name ~inputs:t.m.M.inputs ~outputs:t.m.M.outputs
+    ~defined_on:(List.map fst defined)
+    (fun x ->
+      (* Replay from the reconstructed pairs; no further supplier calls. *)
+      List.assoc x defined)
+
+let is_safe t ~inputs ~visible ~gamma =
+  Standalone.is_safe (reconstruct t ~inputs) ~visible ~gamma

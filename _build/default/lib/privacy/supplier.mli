@@ -1,0 +1,34 @@
+(** The data-supplier access model of Theorem 1 (Appendix A.1).
+
+    The communication lower bound is stated against an oracle that
+    reveals [y = m(x)] one input at a time: "given an assignment x of
+    the input attributes, the data supplier outputs the value y = m(x)".
+    This module wraps a module's functionality behind exactly that
+    interface, counts the queries, and re-derives safety checking on top
+    of it — so the Omega(N) claim becomes measurable (experiment E08):
+    deciding safety requires reading every execution. *)
+
+type t
+
+val of_module : Wf.Wmodule.t -> t
+(** Supplier backed by the module's table. The table itself is not
+    otherwise consulted by the functions below. *)
+
+val query : t -> int array -> int array option
+(** [m(x)], or [None] outside the module's defined inputs. Counted. *)
+
+val calls : t -> int
+(** Queries made since creation or the last {!reset}. *)
+
+val reset : t -> unit
+
+val reconstruct :
+  t -> inputs:int array list -> Wf.Wmodule.t
+(** Rebuild the module relation by querying the supplier on every listed
+    input (one call each) — the "read the full relation" step that
+    Theorem 1 proves unavoidable. Undefined inputs are skipped. *)
+
+val is_safe :
+  t -> inputs:int array list -> visible:string list -> gamma:int -> bool
+(** Safety decided purely through the supplier: reconstruct, then apply
+    the closed-form check. Makes exactly [length inputs] queries. *)

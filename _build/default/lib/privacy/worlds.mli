@@ -1,0 +1,80 @@
+(** Brute-force possible-world enumeration.
+
+    These are the semantic oracles for Definitions 1, 4 and 6: slow,
+    exponential, and faithful. They exist to validate the closed-form
+    checkers in {!Standalone} and {!Wprivacy} (see the property tests)
+    and to reproduce the world counts of Example 2 and Proposition 2.
+
+    A relation over a module schema satisfying [I -> O] is exactly a
+    partial function from input assignments to output assignments, so
+    standalone worlds are enumerated slot-by-slot over the input domain
+    ([ (|Range|+1)^|Dom| ] candidates) rather than over all subsets of
+    the tuple space. Workflow worlds come in two flavours:
+
+    - {e tuple-level} worlds ({!workflow_worlds_tuples}): partial
+      functions from initial-input assignments to full tuples, filtered
+      by the per-module functional dependencies and the view — the
+      literal Definition 4/6 semantics.
+    - {e function-family} worlds ({!workflow_worlds_functions}): every
+      substitution of the private modules by arbitrary total functions
+      whose induced provenance relation agrees with the view — exactly
+      the worlds built in the proof of Lemma 1. *)
+
+val standalone_worlds :
+  ?max_worlds:int -> Wf.Wmodule.t -> visible:string list -> Rel.Relation.t list
+(** All members of [Worlds(R, V)] for a standalone module (Definition 1).
+    [max_worlds] (default 2_000_000) bounds the candidate count
+    [(|Range|+1)^|Dom|]; @raise Invalid_argument beyond it. *)
+
+val count_standalone_worlds :
+  ?max_worlds:int -> Wf.Wmodule.t -> visible:string list -> int
+
+val standalone_out_set :
+  ?max_worlds:int ->
+  Wf.Wmodule.t ->
+  visible:string list ->
+  input:int array ->
+  int array list
+(** [OUT_{x,m}] (Definition 2) computed by enumeration: every output
+    tuple [y] (in module output order) such that some world holds
+    [(x, y)]. *)
+
+val workflow_worlds_functions :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  visible:string list ->
+  Rel.Relation.t list
+(** Worlds of a workflow obtained by substituting every non-public
+    module by an arbitrary total function of the same type and keeping
+    the substitutions whose provenance relation matches the view on [V].
+    [public] lists module names whose functionality is pinned
+    (Definition 6: privatizing a public module removes it from this
+    list). @raise Invalid_argument if the function space exceeds
+    [max_worlds] (default 2_000_000). *)
+
+val workflow_out_set :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  visible:string list ->
+  module_name:string ->
+  input:int array ->
+  int array list
+(** [OUT_{x,W}] (Definition 5): outputs the module can take on input [x]
+    across the function-family worlds, in module output order. The
+    definition is universally quantified, so a world in which [x] never
+    occurs makes every output vacuously possible and the result is the
+    module's whole range (see DESIGN.md). *)
+
+val workflow_worlds_tuples :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  visible:string list ->
+  Rel.Relation.t list
+(** Literal Definition 4/6 enumeration: all relations over the workflow
+    schema satisfying every module FD, fixed public functionality, and
+    the view. Candidates are [(prod_noninitial |Delta| + 1)^(initial
+    domain)]; @raise Invalid_argument beyond [max_worlds] (default
+    2_000_000). *)

@@ -1,0 +1,101 @@
+module M = Wf.Wmodule
+module W = Wf.Workflow
+module R = Rel.Relation
+module T = Rel.Tuple
+module Listx = Svutil.Listx
+
+let module_hidden m ~hidden = Listx.inter (M.attr_names m) hidden
+
+let module_visible m ~hidden = Listx.diff (M.attr_names m) hidden
+
+let compose_safe w ~gamma ~hidden =
+  List.for_all
+    (fun m -> Standalone.is_safe m ~visible:(module_visible m ~hidden) ~gamma)
+    (W.modules w)
+
+let exposed_publics w ~public ~hidden =
+  List.filter
+    (fun name ->
+      match W.find_module w name with
+      | None -> invalid_arg ("Wprivacy: no module " ^ name)
+      | Some m -> module_hidden m ~hidden <> [])
+    public
+
+let theorem8_safe w ~public ~privatized ~gamma ~hidden =
+  let privates =
+    List.filter (fun (m : M.t) -> not (List.mem m.M.name public)) (W.modules w)
+  in
+  List.for_all
+    (fun m -> Standalone.is_safe m ~visible:(module_visible m ~hidden) ~gamma)
+    privates
+  && List.for_all
+       (fun name -> List.mem name privatized)
+       (exposed_publics w ~public ~hidden)
+
+let reachable_inputs w m =
+  let r = W.relation w in
+  let schema = R.schema r in
+  R.rows r
+  |> List.map (T.project_ordered schema (M.input_names m))
+  |> List.sort_uniq T.compare
+
+(* |OUT_{x,W}| for every private module and reachable input at once,
+   enumerating worlds only once. Definition 5 is universally quantified:
+   a world omitting [x] makes every output of the module's range
+   vacuously possible, so such a world saturates the count. *)
+let out_sizes w ~public ~visible ~max_worlds =
+  let worlds = Worlds.workflow_worlds_functions ?max_worlds w ~public ~visible in
+  let privates =
+    List.filter (fun (m : M.t) -> not (List.mem m.M.name public)) (W.modules w)
+  in
+  let per_module =
+    List.map
+      (fun (m : M.t) ->
+        let range_size = Rel.Schema.domain_size (M.output_schema m) in
+        let inputs = reachable_inputs w m in
+        let state =
+          List.map (fun x -> (x, ref [], ref false (* vacuous *))) inputs
+        in
+        (m, range_size, state))
+      privates
+  in
+  List.iter
+    (fun world ->
+      let schema = R.schema world in
+      List.iter
+        (fun ((m : M.t), _, state) ->
+          let ins = M.input_names m and outs = M.output_names m in
+          let present = Hashtbl.create 8 in
+          R.iter world ~f:(fun row ->
+              let x = T.project_ordered schema ins row in
+              let y = T.project_ordered schema outs row in
+              Hashtbl.replace present x y);
+          List.iter
+            (fun (x, seen, vacuous) ->
+              match Hashtbl.find_opt present x with
+              | Some y ->
+                  if not (List.exists (T.equal y) !seen) then seen := y :: !seen
+              | None -> vacuous := true)
+            state)
+        per_module)
+    worlds;
+  List.map
+    (fun ((m : M.t), range_size, state) ->
+      ( m.M.name,
+        List.map
+          (fun (x, seen, vacuous) ->
+            (x, if !vacuous then range_size else List.length !seen))
+          state ))
+    per_module
+
+let min_out_size_brute ?max_worlds w ~public ~visible ~module_name =
+  (match W.find_module w module_name with
+  | Some _ -> ()
+  | None -> invalid_arg ("Wprivacy: no module " ^ module_name));
+  match List.assoc_opt module_name (out_sizes w ~public ~visible ~max_worlds) with
+  | None -> invalid_arg ("Wprivacy: module is public: " ^ module_name)
+  | Some sizes -> List.fold_left (fun acc (_, n) -> min acc n) max_int sizes
+
+let is_safe_brute ?max_worlds w ~public ~gamma ~visible =
+  out_sizes w ~public ~visible ~max_worlds
+  |> List.for_all (fun (_, sizes) -> List.for_all (fun (_, n) -> n >= gamma) sizes)

@@ -1,0 +1,62 @@
+(** Workflow module privacy (Sections 2.4, 4.1 and 5.1).
+
+    The fast checkers here implement the compositional criteria the
+    paper proves sound:
+
+    - {!compose_safe} — Theorem 4: in an all-private workflow, if every
+      module is Gamma-standalone-private w.r.t. its share of the visible
+      attributes, the whole workflow is Gamma-private.
+    - {!theorem8_safe} — Theorem 8: with public modules, the same holds
+      provided every public module that keeps its name visible has all
+      of its attributes visible; public modules adjacent to hidden
+      attributes must be privatized (renamed).
+
+    {!is_safe_brute} checks Definition 5 directly against the
+    function-family world enumeration of {!Worlds} and is the oracle the
+    test suite compares the fast checkers to. *)
+
+val module_hidden : Wf.Wmodule.t -> hidden:string list -> string list
+(** The module's share of a workflow-wide hidden set. *)
+
+val module_visible : Wf.Wmodule.t -> hidden:string list -> string list
+(** Complement of {!module_hidden} within the module's attributes. *)
+
+val compose_safe : Wf.Workflow.t -> gamma:int -> hidden:string list -> bool
+(** Theorem 4 criterion for all-private workflows. *)
+
+val theorem8_safe :
+  Wf.Workflow.t ->
+  public:string list ->
+  privatized:string list ->
+  gamma:int ->
+  hidden:string list ->
+  bool
+(** Theorem 8 criterion for general workflows. [public] lists the public
+    module names; [privatized] the subset of them whose identity is
+    hidden. Private modules are all modules not in [public]. *)
+
+val exposed_publics : Wf.Workflow.t -> public:string list -> hidden:string list -> string list
+(** The public modules with at least one hidden input or output — the
+    set Theorem 8 requires to be privatized (Example 8's rule). *)
+
+val min_out_size_brute :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  visible:string list ->
+  module_name:string ->
+  int
+(** Minimum of [|OUT_{x,W}|] over the module's reachable inputs,
+    computed against the world enumeration. *)
+
+val is_safe_brute :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  gamma:int ->
+  visible:string list ->
+  bool
+(** Definition 5, by enumeration: every private module is
+    Gamma-workflow-private w.r.t. [visible]. Public modules in [public]
+    have pinned functionality (privatized ones should simply be left out
+    of [public], per Definition 6). *)

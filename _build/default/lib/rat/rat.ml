@@ -1,0 +1,92 @@
+module B = Bigint
+
+(* Invariant: [den] is positive and [gcd (abs num) den = 1]; zero is
+   represented as 0/1. *)
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    { num = B.div num g; den = B.div den g }
+  end
+
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+
+let neg t = { t with num = B.neg t.num }
+let inv t = make t.den t.num
+let abs t = { t with num = B.abs t.num }
+
+let add a b = make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+let div a b = mul a (inv b)
+let mul_int a k = mul a (of_int k)
+let div_int a k = div a (of_int k)
+
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let gt a b = compare a b > 0
+let geq a b = compare a b >= 0
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+
+let floor t =
+  let q, r = B.divmod t.num t.den in
+  if B.sign r < 0 then B.pred q else q
+
+let ceil t =
+  let q, r = B.divmod t.num t.den in
+  if B.sign r > 0 then B.succ q else q
+
+let is_integer t = B.equal t.den B.one
+
+let to_int_opt t = if is_integer t then B.to_int_opt t.num else None
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+      let n = B.of_string (String.sub s 0 i) in
+      let d = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make n d
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_bigint (B.of_string s)
+      | Some i ->
+          let int_part = String.sub s 0 i in
+          let frac = String.sub s (i + 1) (String.length s - i - 1) in
+          if frac = "" then invalid_arg "Rat.of_string: trailing dot";
+          let negative = String.length int_part > 0 && int_part.[0] = '-' in
+          let scale = B.pow (B.of_int 10) (String.length frac) in
+          let whole = if int_part = "" || int_part = "-" || int_part = "+" then B.zero else B.of_string int_part in
+          let frac_val = make (B.of_string frac) scale in
+          let base = of_bigint whole in
+          if negative then sub base frac_val else add base frac_val)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let sum xs = List.fold_left add zero xs

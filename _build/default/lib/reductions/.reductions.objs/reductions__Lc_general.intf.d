@@ -1,0 +1,1 @@
+lib/reductions/lc_general.mli: Combinat Core

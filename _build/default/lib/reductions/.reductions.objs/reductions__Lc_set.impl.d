@@ -1,0 +1,1 @@
+lib/reductions/lc_set.ml: Array Combinat Core List Printf Rat Svutil

@@ -1,0 +1,1 @@
+lib/reductions/lc_set.mli: Combinat Core Rat

@@ -1,0 +1,1 @@
+lib/reductions/oracle_gadget.ml: Array Fun List Option Printf Privacy Rat Svutil Wf

@@ -1,0 +1,1 @@
+lib/reductions/oracle_gadget.mli: Rat Wf

@@ -1,0 +1,1 @@
+lib/reductions/sc_card.ml: Array Combinat Core List Printf Rat Svutil

@@ -1,0 +1,1 @@
+lib/reductions/sc_card.mli: Combinat Core Rat

@@ -1,0 +1,1 @@
+lib/reductions/sc_general.ml: Array Combinat Core List Printf Rat Svutil

@@ -1,0 +1,1 @@
+lib/reductions/sc_general.mli: Combinat Core

@@ -1,0 +1,1 @@
+lib/reductions/unsat_gadget.ml: Array Combinat List Printf Privacy Rel Wf

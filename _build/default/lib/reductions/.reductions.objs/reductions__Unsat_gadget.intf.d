@@ -1,0 +1,1 @@
+lib/reductions/unsat_gadget.mli: Combinat Wf

@@ -1,0 +1,1 @@
+lib/reductions/vc_nosharing.ml: Combinat Core List Printf Rat Svutil

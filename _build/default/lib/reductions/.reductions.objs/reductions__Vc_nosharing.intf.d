@@ -1,0 +1,1 @@
+lib/reductions/vc_nosharing.mli: Combinat Core Rat

@@ -1,0 +1,101 @@
+module I = Core.Instance
+module Req = Core.Requirement
+module LC = Combinat.Label_cover
+
+let z_left u l = Printf.sprintf "zL%d_%d" u l
+let z_right w l = Printf.sprintf "zR%d_%d" w l
+let d_edge (u, w) (l1, l2) = Printf.sprintf "d%d_%d_%d_%d" u w l1 l2
+let d_pair (l1, l2) = Printf.sprintf "dp%d_%d" l1 l2
+let b_edge (u, w) = Printf.sprintf "b%d_%d" u w
+
+let of_label_cover (lc : LC.t) =
+  let labels = Svutil.Listx.range lc.LC.labels in
+  let pairs =
+    List.concat_map (fun l1 -> List.map (fun l2 -> (l1, l2)) labels) labels
+  in
+  let edge_datas =
+    List.concat_map
+      (fun ((uw, rel) : (int * int) * (int * int) list) ->
+        List.map (fun pr -> (uw, pr)) rel)
+      lc.LC.edges
+  in
+  let attr_costs =
+    [ ("ds", Rat.zero); ("dv", Rat.zero) ]
+    @ List.map (fun (uw, pr) -> (d_edge uw pr, Rat.zero)) edge_datas
+    @ List.map (fun pr -> (d_pair pr, Rat.zero)) pairs
+    @ List.map (fun (uw, _) -> (b_edge uw, Rat.zero)) lc.LC.edges
+    @ List.concat_map
+        (fun u -> List.map (fun l -> (Printf.sprintf "doutL%d_%d" u l, Rat.zero)) labels)
+        (Svutil.Listx.range lc.LC.left)
+    @ List.concat_map
+        (fun w -> List.map (fun l -> (Printf.sprintf "doutR%d_%d" w l, Rat.zero)) labels)
+        (Svutil.Listx.range lc.LC.right)
+  in
+  let v = { I.m_name = "v"; inputs = [ "ds" ]; outputs = [ "dv" ]; req = Req.Card [ (0, 1) ] } in
+  let y pr =
+    let produced =
+      List.filter_map (fun (uw, pr') -> if pr' = pr then Some (d_edge uw pr) else None) edge_datas
+    in
+    {
+      I.m_name = Printf.sprintf "y%d_%d" (fst pr) (snd pr);
+      inputs = [ "dv" ];
+      outputs = d_pair pr :: produced;
+      req = Req.Card [ (1, 0) ];
+    }
+  in
+  let x ((uw, rel) : (int * int) * (int * int) list) =
+    {
+      I.m_name = Printf.sprintf "x%d_%d" (fst uw) (snd uw);
+      inputs = List.map (d_edge uw) rel;
+      outputs = [ b_edge uw ];
+      req = Req.Card [ (1, 0) ];
+    }
+  in
+  let publics =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun l ->
+            let consumed =
+              List.filter_map
+                (fun (((u', _) as uw), ((l1, _) as pr)) ->
+                  if u' = u && l1 = l then Some (d_edge uw pr) else None)
+                edge_datas
+            in
+            {
+              I.p_name = z_left u l;
+              p_cost = Rat.one;
+              p_attrs = consumed @ [ Printf.sprintf "doutL%d_%d" u l ];
+            })
+          labels)
+      (Svutil.Listx.range lc.LC.left)
+    @ List.concat_map
+        (fun w ->
+          List.map
+            (fun l ->
+              let consumed =
+                List.filter_map
+                  (fun (((_, w') as uw), ((_, l2) as pr)) ->
+                    if w' = w && l2 = l then Some (d_edge uw pr) else None)
+                  edge_datas
+              in
+              {
+                I.p_name = z_right w l;
+                p_cost = Rat.one;
+                p_attrs = consumed @ [ Printf.sprintf "doutR%d_%d" w l ];
+              })
+            labels)
+        (Svutil.Listx.range lc.LC.right)
+  in
+  I.make ~attr_costs ~mods:((v :: List.map y pairs) @ List.map x lc.LC.edges) ~publics ()
+
+let assignment_of_solution (lc : LC.t) (s : Core.Solution.t) =
+  let privatized = s.Core.Solution.privatized in
+  {
+    LC.left_labels =
+      Array.init lc.LC.left (fun u ->
+          List.filter (fun l -> List.mem (z_left u l) privatized) (Svutil.Listx.range lc.LC.labels));
+    LC.right_labels =
+      Array.init lc.LC.right (fun w ->
+          List.filter (fun l -> List.mem (z_right w l) privatized) (Svutil.Listx.range lc.LC.labels));
+  }

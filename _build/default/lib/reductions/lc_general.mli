@@ -1,0 +1,23 @@
+(** The reduction of Appendix C.4 (Figure 6, Theorem 10): minimum label
+    cover to Secure-View with cardinality constraints in general
+    workflows — the construction showing the cardinality variant loses
+    its O(log n)-approximation once public modules appear.
+
+    Private modules: [v] (one hidden output), one [y_{l1,l2}] per label
+    pair (one hidden input — satisfied for all of them at once by hiding
+    [v]'s output [dv]), and one [x_uw] per edge (one hidden input, i.e.
+    some [d_{u,w,l1,l2}]). Public modules: [z_{u,l}] with privatization
+    cost 1, consuming every [d_{u,w,l1,l2}] whose pair assigns label [l]
+    to vertex [u]. All data is free; hiding [d_{u,w,l1,l2}] exposes
+    [z_{u,l1}] and [z_{w,l2}], so the privatization cost equals the
+    label-assignment cost (Lemma 8). *)
+
+val of_label_cover : Combinat.Label_cover.t -> Core.Instance.t
+
+val assignment_of_solution :
+  Combinat.Label_cover.t -> Core.Solution.t -> Combinat.Label_cover.assignment
+
+val z_left : int -> int -> string
+(** Name of the public module [z_{u,l}] for a left vertex. *)
+
+val z_right : int -> int -> string

@@ -1,0 +1,73 @@
+module I = Core.Instance
+module Req = Core.Requirement
+module LC = Combinat.Label_cover
+
+let unhideable = Rat.of_int 1_000_000
+
+let attr_of_left u l = Printf.sprintf "bL%d_%d" u l
+let attr_of_right w l = Printf.sprintf "bR%d_%d" w l
+
+let of_label_cover (lc : LC.t) =
+  let label_attrs =
+    List.concat_map
+      (fun u -> List.map (attr_of_left u) (Svutil.Listx.range lc.LC.labels))
+      (Svutil.Listx.range lc.LC.left)
+    @ List.concat_map
+        (fun w -> List.map (attr_of_right w) (Svutil.Listx.range lc.LC.labels))
+        (Svutil.Listx.range lc.LC.right)
+  in
+  let edge_attr ((u, w), _) = Printf.sprintf "buw%d_%d" u w in
+  let attr_costs =
+    (("bz", unhideable) :: List.map (fun a -> (a, Rat.one)) label_attrs)
+    @ List.map (fun e -> (edge_attr e, unhideable)) lc.LC.edges
+  in
+  (* z's requirement: any single intermediate attribute. *)
+  let z =
+    {
+      I.m_name = "z";
+      inputs = [ "bz" ];
+      outputs = label_attrs;
+      req = Req.Sets (List.map (fun a -> ([], [ a ])) label_attrs);
+    }
+  in
+  let x_uw (((u, w), rel) as e) =
+    {
+      I.m_name = Printf.sprintf "x%d_%d" u w;
+      inputs =
+        Svutil.Listx.dedup
+          (List.concat_map
+             (fun (l1, l2) -> [ attr_of_left u l1; attr_of_right w l2 ])
+             rel);
+      outputs = [ edge_attr e ];
+      req =
+        Req.Sets
+          (List.map
+             (fun (l1, l2) -> ([ attr_of_left u l1; attr_of_right w l2 ], []))
+             rel);
+    }
+  in
+  I.make ~attr_costs ~mods:(z :: List.map x_uw lc.LC.edges) ()
+
+let assignment_of_solution (lc : LC.t) (s : Core.Solution.t) =
+  let hidden = s.Core.Solution.hidden in
+  let a =
+    {
+      LC.left_labels = Array.make lc.LC.left [];
+      LC.right_labels = Array.make lc.LC.right [];
+    }
+  in
+  List.iter
+    (fun u ->
+      a.LC.left_labels.(u) <-
+        List.filter
+          (fun l -> List.mem (attr_of_left u l) hidden)
+          (Svutil.Listx.range lc.LC.labels))
+    (Svutil.Listx.range lc.LC.left);
+  List.iter
+    (fun w ->
+      a.LC.right_labels.(w) <-
+        List.filter
+          (fun l -> List.mem (attr_of_right w l) hidden)
+          (Svutil.Listx.range lc.LC.labels))
+    (Svutil.Listx.range lc.LC.right);
+  a

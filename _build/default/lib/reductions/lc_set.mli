@@ -1,0 +1,21 @@
+(** The reduction of Appendix B.5.2 (Figure 4): minimum label cover to
+    Secure-View with set constraints (the [l_max^eps] hardness of
+    Theorem 6).
+
+    A module [z] produces one attribute [b_{u,l}] per (vertex, label),
+    each of cost 1, shared among the edge modules [x_uw]; [x_uw]'s
+    requirement list has one option [{b_{u,l1}, b_{w,l2}}] per admissible
+    pair [(l1,l2)]. Lemma 5: the instance has a solution of cost K iff
+    the label cover does. *)
+
+val unhideable : Rat.t
+
+val of_label_cover : Combinat.Label_cover.t -> Core.Instance.t
+
+val assignment_of_solution :
+  Combinat.Label_cover.t -> Core.Solution.t -> Combinat.Label_cover.assignment
+
+val attr_of_left : int -> int -> string
+(** [attr_of_left u l] is [b_{u,l}] for a left vertex. *)
+
+val attr_of_right : int -> int -> string

@@ -1,0 +1,58 @@
+module St = Privacy.Standalone
+module L = Wf.Library
+module Listx = Svutil.Listx
+
+let input_names l = List.init l (fun i -> Printf.sprintf "x%d" i)
+
+let check_l l = if l < 4 || l mod 4 <> 0 then invalid_arg "Oracle_gadget: l must be divisible by 4"
+
+let ones bits = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits
+
+let m1 ~l =
+  check_l l;
+  L.boolean_fn ~name:"m1" ~inputs:(input_names l) ~outputs:[ "y" ] (fun bits ->
+      [| ones bits >= l / 4 |])
+
+let m2 ~l ~special =
+  check_l l;
+  let names = input_names l in
+  if List.length special <> l / 2 || not (Listx.is_subset special names) then
+    invalid_arg "Oracle_gadget.m2: special must be l/2 input names";
+  let outside = Array.of_list (List.map (fun n -> not (List.mem n special)) names) in
+  L.boolean_fn ~name:"m2" ~inputs:names ~outputs:[ "y" ] (fun bits ->
+      let one_outside =
+        Array.exists Fun.id (Array.mapi (fun i b -> b && outside.(i)) bits)
+      in
+      [| ones bits >= l / 4 && one_outside |])
+
+let cost l a = if a = "y" then Rat.of_int l else Rat.one
+
+let min_hidden_cost m ~l =
+  Option.map snd (St.min_cost_hidden m ~gamma:2 ~cost:(cost l))
+
+let verify_properties ~l ~special =
+  let a = m1 ~l and b = m2 ~l ~special in
+  let inputs = input_names l in
+  let p1 = ref true and p2_m1 = ref true and p2_m2 = ref true in
+  Svutil.Subset.iter inputs (fun visible ->
+      let size = List.length visible in
+      (* The output costs l, so candidate hidden sets never include it:
+         y stays visible in every oracle query. *)
+      let safe m = St.is_safe m ~visible:(visible @ [ "y" ]) ~gamma:2 in
+      if size < l / 4 then begin
+        if not (safe a && safe b) then p1 := false
+      end
+      else begin
+        if safe a then p2_m1 := false;
+        let expected = Listx.is_subset visible special in
+        if safe b <> expected then p2_m2 := false
+      end);
+  let cost_m1 = min_hidden_cost a ~l and cost_m2 = min_hidden_cost b ~l in
+  [
+    ("(P1) small visible sets safe for both", !p1);
+    ("(P2) larger visible sets unsafe for m1", !p2_m1);
+    ("(P2) for m2, safe exactly on subsets of the special set", !p2_m2);
+    ( "m1 cheapest hidden set costs more than 3l/4",
+      match cost_m1 with Some c -> Rat.gt c (Rat.of_int (3 * l / 4)) | None -> false );
+    ("m2 cheapest hidden set costs l/2", cost_m2 = Some (Rat.of_int (l / 2)));
+  ]

@@ -1,0 +1,43 @@
+(** The adversary construction of Theorem 3 (Appendix A.3): the pair of
+    modules showing that min-cost safe-subset search needs 2^Omega(k)
+    Safe-View oracle calls.
+
+    Both modules have [l] boolean inputs (costs 1) and one boolean
+    output (cost [l]); [l] must be divisible by 4.
+
+    - [m1 x = 1] iff at least [l/4] inputs are 1.
+    - [m2 ~special x = 1] iff at least [l/4] inputs are 1 {e and} some
+      input outside the special set is 1.
+
+    The oracle-answer properties the proof relies on (for Gamma = 2,
+    with [V] the {e visible} input subset; the output's cost [l] keeps
+    it out of every candidate hidden set, i.e. visible):
+
+    - (P1) every [V] with [|V| < l/4] is safe for both modules;
+    - (P2) every [V] with [|V| >= l/4] is unsafe for [m1], and unsafe
+      for [m2] unless [V] is a subset of the special set.
+
+    Consequently [m1]'s cheapest safe hidden set costs more than [3l/4]
+    while [m2]'s costs [l/2], and no algorithm can tell the two apart
+    without locating the special set among the [choose(l, l/2)]
+    candidates — the [2^Omega(k)] oracle-call lower bound.
+    {!verify_properties} checks (P1)/(P2) exhaustively at small [l]
+    (experiment E22). *)
+
+val input_names : int -> string list
+
+val m1 : l:int -> Wf.Wmodule.t
+(** @raise Invalid_argument unless [4 | l]. *)
+
+val m2 : l:int -> special:string list -> Wf.Wmodule.t
+(** [special] must be [l/2] of the input names.
+    @raise Invalid_argument otherwise. *)
+
+val min_hidden_cost : Wf.Wmodule.t -> l:int -> Rat.t option
+(** Minimum-cost safe hidden subset under the construction's costs
+    (inputs 1, output [l]), for Gamma = 2. *)
+
+val verify_properties :
+  l:int -> special:string list -> (string * bool) list
+(** Named checks of (P1)/(P2) and the cost gap; every boolean should be
+    true. Exhaustive over the [2^l] visible input subsets. *)

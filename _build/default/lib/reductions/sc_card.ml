@@ -1,0 +1,40 @@
+module I = Core.Instance
+module Req = Core.Requirement
+module SC = Combinat.Set_cover
+
+let unhideable = Rat.of_int 1_000_000
+
+let attr_of_set i = Printf.sprintf "a%d" i
+
+let attr_of_element j = Printf.sprintf "b%d" j
+
+let of_set_cover (sc : SC.t) =
+  let n_sets = Array.length sc.SC.sets in
+  let set_attrs = List.map attr_of_set (Svutil.Listx.range n_sets) in
+  let elem_attrs = List.map attr_of_element (Svutil.Listx.range sc.SC.universe) in
+  let attr_costs =
+    (("bs", unhideable) :: List.map (fun a -> (a, Rat.one)) set_attrs)
+    @ List.map (fun a -> (a, unhideable)) elem_attrs
+  in
+  let z =
+    { I.m_name = "z"; inputs = [ "bs" ]; outputs = set_attrs; req = Req.Card [ (0, 1) ] }
+  in
+  let f_j j =
+    let feeding =
+      List.filteri (fun i _ -> List.mem j sc.SC.sets.(i)) set_attrs
+    in
+    {
+      I.m_name = Printf.sprintf "f%d" j;
+      inputs = feeding;
+      outputs = [ attr_of_element j ];
+      req = Req.Card [ (1, 0) ];
+    }
+  in
+  I.make ~attr_costs
+    ~mods:(z :: List.map f_j (Svutil.Listx.range sc.SC.universe))
+    ()
+
+let cover_of_solution (sc : SC.t) (s : Core.Solution.t) =
+  List.filter
+    (fun i -> List.mem (attr_of_set i) s.Core.Solution.hidden)
+    (Svutil.Listx.range (Array.length sc.SC.sets))

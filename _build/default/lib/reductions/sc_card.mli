@@ -1,0 +1,20 @@
+(** The reduction of Appendix B.4.2: minimum set cover to Secure-View
+    with cardinality constraints (the Omega(log n) hardness of
+    Theorem 5).
+
+    One module [f_j] per universe element with requirement [{(1,0)}],
+    one extra module [z] producing a shared attribute [a_i] per set with
+    requirement [{(0,1)}]; [a_i] costs 1 and feeds every [f_j] with
+    [u_j in S_i], all other data is priced out of reach. A hidden set of
+    cost K corresponds exactly to a set cover of size K (for K within
+    the intended range). *)
+
+val unhideable : Rat.t
+(** The prohibitive cost on the source/sink data. *)
+
+val of_set_cover : Combinat.Set_cover.t -> Core.Instance.t
+
+val cover_of_solution : Combinat.Set_cover.t -> Core.Solution.t -> int list
+(** The sets whose attribute [a_i] is hidden. *)
+
+val attr_of_set : int -> string

@@ -1,0 +1,49 @@
+module I = Core.Instance
+module Req = Core.Requirement
+module SC = Combinat.Set_cover
+
+let module_of_set i = Printf.sprintf "S%d" i
+let copy i j = Printf.sprintf "b%d_%d" i j
+let seed i = Printf.sprintf "a%d" i
+let final j = Printf.sprintf "b%d" j
+
+let of_set_cover (sc : SC.t) =
+  let n_sets = Array.length sc.SC.sets in
+  let set_idx = Svutil.Listx.range n_sets in
+  let elem_idx = Svutil.Listx.range sc.SC.universe in
+  let attr_costs =
+    List.map (fun i -> (seed i, Rat.zero)) set_idx
+    @ List.concat_map
+        (fun i -> List.map (fun j -> (copy i j, Rat.zero)) sc.SC.sets.(i))
+        set_idx
+    @ List.map (fun j -> (final j, Rat.zero)) elem_idx
+  in
+  let publics =
+    List.map
+      (fun i ->
+        {
+          I.p_name = module_of_set i;
+          p_cost = Rat.one;
+          p_attrs = seed i :: List.map (fun j -> copy i j) sc.SC.sets.(i);
+        })
+      set_idx
+  in
+  let u_j j =
+    let incoming =
+      List.filter_map
+        (fun i -> if List.mem j sc.SC.sets.(i) then Some (copy i j) else None)
+        set_idx
+    in
+    {
+      I.m_name = Printf.sprintf "u%d" j;
+      inputs = incoming;
+      outputs = [ final j ];
+      req = Req.Card [ (1, 0) ];
+    }
+  in
+  I.make ~attr_costs ~mods:(List.map u_j elem_idx) ~publics ()
+
+let cover_of_solution (sc : SC.t) (s : Core.Solution.t) =
+  List.filter
+    (fun i -> List.mem (module_of_set i) s.Core.Solution.privatized)
+    (Svutil.Listx.range (Array.length sc.SC.sets))

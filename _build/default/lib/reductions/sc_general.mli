@@ -1,0 +1,18 @@
+(** The reduction of Appendix C.2 (Theorem 9): minimum set cover to
+    Secure-View in general workflows with {e no data sharing} — showing
+    that privatization costs alone make the bounded-sharing case
+    Omega(log n)-hard.
+
+    One public module per set [S_i] (privatization cost 1) producing a
+    private data item [b_ij] for every element [u_j in S_i]; one private
+    module per element [u_j] consuming its copies with requirement
+    [{(1,0)}]. All data costs 0: hiding any [b_ij] is free but exposes
+    the public module [S_i], so the optimal privatization set is exactly
+    a minimum set cover. *)
+
+val of_set_cover : Combinat.Set_cover.t -> Core.Instance.t
+
+val cover_of_solution : Combinat.Set_cover.t -> Core.Solution.t -> int list
+(** The sets whose public module is privatized. *)
+
+val module_of_set : int -> string

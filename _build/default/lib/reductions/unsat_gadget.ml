@@ -1,0 +1,16 @@
+module A = Rel.Attr
+module Cnf = Combinat.Cnf
+
+let var_name i = Printf.sprintf "x%d" i
+
+let of_cnf (g : Cnf.t) =
+  let xs = List.init g.Cnf.n_vars var_name in
+  let inputs = A.booleans (xs @ [ "y" ]) in
+  Wf.Wmodule.of_fun ~name:"m_unsat" ~inputs ~outputs:[ A.boolean "z" ] (fun input ->
+      let assignment = Array.init g.Cnf.n_vars (fun i -> input.(i) = 1) in
+      let y = input.(g.Cnf.n_vars) = 1 in
+      [| (if (not (Cnf.eval g assignment)) && not y then 1 else 0) |])
+
+let view (g : Cnf.t) = List.init g.Cnf.n_vars var_name @ [ "z" ]
+
+let safe g = Privacy.Standalone.is_safe (of_cnf g) ~visible:(view g) ~gamma:2

@@ -1,0 +1,22 @@
+(** The reduction of Theorem 2 (Appendix A.2): UNSAT to Safe-View.
+
+    From a CNF formula [g] over [x_1..x_l], build the module
+
+    [m(x_1, .., x_l, y) = not (g x) && not y]
+
+    with boolean output [z]. With [y] hidden and everything else visible,
+    the view is 2-standalone-private iff [g] is unsatisfiable: on a
+    satisfying assignment both completions of [y] force [z = 0], pinning
+    the output; on a non-satisfying one the two completions yield both
+    outputs. Deciding safety is therefore co-NP-hard in the number of
+    attributes. *)
+
+val of_cnf : Combinat.Cnf.t -> Wf.Wmodule.t
+(** The module above; the relation has [2^(l+1)] rows. *)
+
+val view : Combinat.Cnf.t -> string list
+(** The visible attributes [{x_1..x_l, z}] of the reduction. *)
+
+val safe : Combinat.Cnf.t -> bool
+(** Whether the view is safe for Gamma = 2 — by Theorem 2, equivalent to
+    unsatisfiability of the formula. *)

@@ -1,0 +1,74 @@
+module I = Core.Instance
+module Req = Core.Requirement
+module VC = Combinat.Vertex_cover
+
+(* Data items, all of cost 1:
+   - [s_uv]: initial input of the edge module x_uv;
+   - [e_uv_u], [e_uv_v]: the two outgoing edges of x_uv, feeding y_u and
+     y_v respectively;
+   - [t_v]: the edge y_v -> z;
+   - [out]: z's final output. *)
+
+let edge_name (u, v) = Printf.sprintf "%d_%d" u v
+let src e = "s" ^ edge_name e
+let leg e w = Printf.sprintf "e%s_%d" (edge_name e) w
+let tv v = Printf.sprintf "t%d" v
+
+let of_vertex_cover (g : VC.t) =
+  let vertices = Svutil.Listx.range g.VC.n in
+  let attr_costs =
+    List.concat_map (fun e -> [ (src e, Rat.one) ]) g.VC.edges
+    @ List.concat_map (fun (u, v) -> [ (leg (u, v) u, Rat.one); (leg (u, v) v, Rat.one) ]) g.VC.edges
+    @ List.map (fun v -> (tv v, Rat.one)) vertices
+    @ [ ("out", Rat.one) ]
+  in
+  let x_uv (u, v) =
+    {
+      I.m_name = "x" ^ edge_name (u, v);
+      inputs = [ src (u, v) ];
+      outputs = [ leg (u, v) u; leg (u, v) v ];
+      req = Req.Card [ (0, 1) ];
+    }
+  in
+  let y_v v =
+    let incoming =
+      List.filter_map
+        (fun (a, b) ->
+          if a = v || b = v then Some (leg (a, b) v) else None)
+        g.VC.edges
+    in
+    {
+      I.m_name = Printf.sprintf "y%d" v;
+      inputs = incoming;
+      outputs = [ tv v ];
+      req = Req.Card [ (List.length incoming, 0); (0, 1) ];
+    }
+  in
+  let z =
+    {
+      I.m_name = "z";
+      inputs = List.map tv vertices;
+      outputs = [ "out" ];
+      req = Req.Card [ (1, 0) ];
+    }
+  in
+  I.make ~attr_costs
+    ~mods:(List.map x_uv g.VC.edges @ List.map y_v vertices @ [ z ])
+    ()
+
+(* Lemma 6's normalization: a feasible solution satisfies y_v either by
+   hiding t_v or by hiding all of its incoming legs; either way v can
+   serve as a cover vertex. *)
+let cover_of_solution (g : VC.t) (s : Core.Solution.t) =
+  let hidden = s.Core.Solution.hidden in
+  List.filter
+    (fun v ->
+      List.mem (tv v) hidden
+      || List.for_all
+           (fun (a, b) ->
+             (a <> v && b <> v) || List.mem (leg (a, b) v) hidden)
+           g.VC.edges)
+    (Svutil.Listx.range g.VC.n)
+
+let expected_cost (g : VC.t) ~cover_size =
+  Rat.of_int (List.length g.VC.edges + cover_size)

@@ -1,0 +1,20 @@
+(** The reduction of Appendix B.6.2 (Figure 5): minimum vertex cover in
+    cubic graphs to Secure-View with cardinality constraints and {e no}
+    data sharing — the APX-hardness half of Theorem 7.
+
+    One module [x_uv] per edge (requirement: hide one outgoing data),
+    one module [y_v] per vertex (requirement: all [deg(v)] incoming data,
+    or one outgoing), and a sink [z] (one incoming). Every data item has
+    cost 1 and feeds a single module. Lemma 6: the graph has a vertex
+    cover of size K iff the instance has a solution of cost [m' + K]
+    where [m'] is the number of edges. *)
+
+val of_vertex_cover : Combinat.Vertex_cover.t -> Core.Instance.t
+
+val cover_of_solution : Combinat.Vertex_cover.t -> Core.Solution.t -> int list
+(** Vertices whose [y_v -> z] data is hidden, plus vertices all of whose
+    incoming legs are hidden — the normalization used in the proof of
+    Lemma 6. For any feasible solution this is a vertex cover. *)
+
+val expected_cost : Combinat.Vertex_cover.t -> cover_size:int -> Rat.t
+(** [m' + K]. *)

@@ -1,0 +1,1 @@
+lib/rel/attr.ml: Format List Stdlib

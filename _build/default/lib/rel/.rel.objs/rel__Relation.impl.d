@@ -1,0 +1,1 @@
+lib/rel/relation.ml: Array Attr Format Hashtbl List Printf Schema Svutil Tuple

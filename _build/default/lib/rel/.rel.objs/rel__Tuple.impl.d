@@ -1,0 +1,1 @@
+lib/rel/tuple.ml: Array Attr Format Fun List Schema Stdlib String

@@ -1,0 +1,15 @@
+type t = { name : string; dom : int }
+
+let make name ~dom =
+  if dom < 1 then invalid_arg "Attr.make: domain must have at least one value";
+  if name = "" then invalid_arg "Attr.make: empty name";
+  { name; dom }
+
+let boolean name = make name ~dom:2
+let booleans names = List.map boolean names
+
+let name t = t.name
+let dom t = t.dom
+let equal a b = a.name = b.name && a.dom = b.dom
+let compare a b = Stdlib.compare (a.name, a.dom) (b.name, b.dom)
+let pp fmt t = Format.fprintf fmt "%s[%d]" t.name t.dom

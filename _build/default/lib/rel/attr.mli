@@ -1,0 +1,22 @@
+(** Attributes: named data items with a finite domain.
+
+    Following Section 2.1 of the paper, every attribute [a] ranges over a
+    finite domain [Delta_a]; we represent the domain as [{0, ...,
+    dom - 1}]. Boolean attributes ([dom = 2]) are what all the paper's
+    examples use, but nothing below assumes it. *)
+
+type t = private { name : string; dom : int }
+
+val make : string -> dom:int -> t
+(** @raise Invalid_argument if [dom < 1] or the name is empty. *)
+
+val boolean : string -> t
+(** [make name ~dom:2]. *)
+
+val booleans : string list -> t list
+
+val name : t -> string
+val dom : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

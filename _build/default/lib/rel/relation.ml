@@ -1,0 +1,103 @@
+type t = { schema : Schema.t; rows : Tuple.t list }
+
+let create schema rows =
+  List.iter
+    (fun r ->
+      if not (Tuple.validate schema r) then
+        invalid_arg
+          (Printf.sprintf "Relation.create: malformed row %s" (Tuple.to_string r)))
+    rows;
+  { schema; rows = List.sort_uniq Tuple.compare rows }
+
+let schema t = t.schema
+let rows t = t.rows
+let size t = List.length t.rows
+let is_empty t = t.rows = []
+let mem t row = List.exists (Tuple.equal row) t.rows
+let equal a b = Schema.equal a.schema b.schema && a.rows = b.rows
+
+let full schema = create schema (Schema.all_tuples schema)
+
+let project t names =
+  let sub = Schema.restrict t.schema names in
+  let keep = Schema.names sub in
+  create sub (List.map (Tuple.project t.schema keep) t.rows)
+
+let select t pred = { t with rows = List.filter (pred t.schema) t.rows }
+
+let reorder t names =
+  if List.sort compare names <> List.sort compare (Schema.names t.schema) then
+    invalid_arg "Relation.reorder: names must match the schema exactly";
+  let perm = Array.of_list (List.map (Schema.index_of t.schema) names) in
+  let schema = Schema.of_list (List.map (fun n -> Schema.attr t.schema (Schema.index_of t.schema n)) names) in
+  create schema (List.map (fun row -> Array.map (fun i -> row.(i)) perm) t.rows)
+
+let join a b =
+  let names_a = Schema.names a.schema and names_b = Schema.names b.schema in
+  let common = List.filter (fun n -> List.mem n names_b) names_a in
+  List.iter
+    (fun n ->
+      let da = Attr.dom (Schema.attr a.schema (Schema.index_of a.schema n)) in
+      let db = Attr.dom (Schema.attr b.schema (Schema.index_of b.schema n)) in
+      if da <> db then
+        invalid_arg (Printf.sprintf "Relation.join: attribute %s has conflicting domains" n))
+    common;
+  let only_b = List.filter (fun n -> not (List.mem n common)) names_b in
+  let out_schema =
+    Schema.of_list
+      (Schema.attrs a.schema
+      @ List.filter (fun at -> List.mem (Attr.name at) only_b) (Schema.attrs b.schema))
+  in
+  (* Index the right side by its common-attribute projection. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun rb ->
+      let key = Tuple.project b.schema common rb in
+      Hashtbl.add tbl key rb)
+    b.rows;
+  let out_rows =
+    List.concat_map
+      (fun ra ->
+        let key = Tuple.project a.schema common ra in
+        Hashtbl.find_all tbl key
+        |> List.map (fun rb ->
+               let extra = Tuple.project b.schema only_b rb in
+               Array.append ra extra))
+      a.rows
+  in
+  create out_schema out_rows
+
+let satisfies_fd t ~lhs ~rhs =
+  let tbl = Hashtbl.create 64 in
+  List.for_all
+    (fun row ->
+      let key = Tuple.project t.schema lhs row in
+      let v = Tuple.project t.schema rhs row in
+      match Hashtbl.find_opt tbl key with
+      | Some v' -> Tuple.equal v v'
+      | None ->
+          Hashtbl.add tbl key v;
+          true)
+    t.rows
+
+let distinct_values t names =
+  size (project t names)
+
+let fold t ~init ~f = List.fold_left f init t.rows
+let iter t ~f = List.iter f t.rows
+
+let to_table ?(groups = []) t =
+  let role name =
+    match List.find_opt (fun (_, names) -> List.mem name names) groups with
+    | Some (label, _) -> label ^ ":" ^ name
+    | None -> name
+  in
+  let table = Svutil.Table.create (List.map role (Schema.names t.schema)) in
+  List.iter
+    (fun row ->
+      Svutil.Table.add_row table (List.map string_of_int (Array.to_list row)))
+    t.rows;
+  table
+
+let pp fmt t =
+  Format.pp_print_string fmt (Svutil.Table.render (to_table t))

@@ -1,0 +1,25 @@
+type t = int array
+
+let value schema t name = t.(Schema.index_of schema name)
+
+let project schema names t =
+  let keep = List.filter (fun n -> List.mem n names) (Schema.names schema) in
+  (* Ensure every requested name exists. *)
+  List.iter (fun n -> ignore (Schema.index_of schema n)) names;
+  Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) keep)
+
+let project_ordered schema names t =
+  Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) names)
+
+let validate schema t =
+  Array.length t = Schema.size schema
+  && Array.for_all Fun.id
+       (Array.mapi (fun i v -> v >= 0 && v < Attr.dom (Schema.attr schema i)) t)
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string t =
+  "(" ^ String.concat "," (List.map string_of_int (Array.to_list t)) ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

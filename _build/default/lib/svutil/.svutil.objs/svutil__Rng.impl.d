@@ -1,0 +1,1 @@
+lib/svutil/rng.ml: Array Int64 List

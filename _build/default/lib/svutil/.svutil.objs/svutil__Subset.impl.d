@@ -1,0 +1,1 @@
+lib/svutil/subset.ml: List Listx

@@ -1,0 +1,1 @@
+lib/svutil/table.ml: List String

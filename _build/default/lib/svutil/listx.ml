@@ -1,0 +1,30 @@
+let range n = List.init n Fun.id
+
+let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+
+let max_by f xs = List.fold_left (fun acc x -> max acc (f x)) 0 xs
+
+let dedup xs = List.sort_uniq compare xs
+
+let is_subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let inter xs ys = dedup (List.filter (fun x -> List.mem x ys) xs)
+
+let diff xs ys = List.filter (fun x -> not (List.mem x ys)) xs
+
+let union xs ys = dedup (xs @ ys)
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+
+let take k xs = List.filteri (fun i _ -> i < k) xs
+
+let minimal_antichain subset sets =
+  let strictly_below a b = subset a b && not (subset b a) in
+  List.filter
+    (fun s -> not (List.exists (fun s' -> strictly_below s' s) sets))
+    sets
+  |> dedup

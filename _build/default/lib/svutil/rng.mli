@@ -1,0 +1,36 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    All randomized components of the library (instance generators,
+    Algorithm 1's randomized rounding) take an explicit generator so that
+    every experiment and test is reproducible from a seed.  The
+    implementation is SplitMix64, which has a cheap [split] operation
+    yielding an independent stream. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] returns a generator whose stream is independent of the
+    subsequent outputs of [t]; [t] itself advances by one step. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound-1]. [bound] must be
+    positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements,
+    preserving no particular order. *)

@@ -1,0 +1,35 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.headers in
+  let nrow = List.length row in
+  if nrow > ncols then invalid_arg "Table.add_row: too many cells";
+  let padded = row @ List.init (ncols - nrow) (fun _ -> "") in
+  t.rows <- t.rows @ [ padded ]
+
+(* Right-trim so padding of the last column does not leave trailing
+   spaces in the output. *)
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let render t =
+  let all = t.headers :: t.rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row = rtrim (String.concat "  " (List.map2 pad row widths)) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line t.headers :: sep :: List.map line t.rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()

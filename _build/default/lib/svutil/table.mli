@@ -1,0 +1,17 @@
+(** ASCII table rendering, used to regenerate the paper's figures and to
+    print the experiment result tables in the bench harness. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    are an error. *)
+
+val render : t -> string
+(** Render with a header separator, columns padded to content width. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

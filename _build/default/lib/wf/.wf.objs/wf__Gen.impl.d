@@ -1,0 +1,1 @@
+lib/wf/gen.ml: Array List Printf Rat Rel Svutil Wmodule Workflow

@@ -1,0 +1,1 @@
+lib/wf/gen.mli: Rat Rel Svutil Wmodule Workflow

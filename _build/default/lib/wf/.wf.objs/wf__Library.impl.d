@@ -1,0 +1,1 @@
+lib/wf/library.ml: Array List Printf Rel Wmodule Workflow

@@ -1,0 +1,1 @@
+lib/wf/library.mli: Wmodule Workflow

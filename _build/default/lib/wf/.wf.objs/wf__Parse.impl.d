@@ -1,0 +1,1 @@
+lib/wf/parse.ml: Array Hashtbl In_channel Library List Option Printf Rat Rel String Wmodule Workflow

@@ -1,0 +1,1 @@
+lib/wf/parse.mli: Rat Workflow

@@ -1,0 +1,1 @@
+lib/wf/wmodule.ml: Array Format List Option Printf Rel String

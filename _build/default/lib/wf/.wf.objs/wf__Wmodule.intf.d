@@ -1,0 +1,1 @@
+lib/wf/wmodule.mli: Format Rel

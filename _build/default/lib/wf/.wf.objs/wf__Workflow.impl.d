@@ -1,0 +1,1 @@
+lib/wf/workflow.ml: Array Format Hashtbl List Option Printf Queue Rel Result Svutil Wmodule

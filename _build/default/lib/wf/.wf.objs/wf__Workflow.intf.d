@@ -1,0 +1,1 @@
+lib/wf/workflow.mli: Format Rel Wmodule

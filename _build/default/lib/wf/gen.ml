@@ -1,0 +1,71 @@
+module A = Rel.Attr
+module S = Rel.Schema
+module Rng = Svutil.Rng
+
+type params = {
+  n_modules : int;
+  max_inputs : int;
+  max_outputs : int;
+  max_sharing : int;
+  fresh_input_prob : float;
+}
+
+let default =
+  { n_modules = 4; max_inputs = 2; max_outputs = 2; max_sharing = 2; fresh_input_prob = 0.3 }
+
+let random_module rng ~name ~inputs ~outputs =
+  let out_schema = S.of_list outputs in
+  let n_out = S.domain_size out_schema in
+  let out_tuples = Array.of_list (S.all_tuples out_schema) in
+  Wmodule.of_fun ~name ~inputs ~outputs (fun _ -> out_tuples.(Rng.int rng n_out))
+
+let random_workflow rng p =
+  if p.n_modules < 1 || p.max_inputs < 1 || p.max_outputs < 1 || p.max_sharing < 1 then
+    invalid_arg "Gen.random_workflow: parameters must be positive";
+  let fresh_count = ref 0 in
+  let fresh () =
+    incr fresh_count;
+    A.boolean (Printf.sprintf "x%d" !fresh_count)
+  in
+  (* Attributes available as inputs, with their remaining sharing budget. *)
+  let available : (A.t * int ref) list ref = ref [] in
+  let take_available () =
+    match !available with
+    | [] -> None
+    | pool ->
+        let a, budget = Rng.pick rng pool in
+        decr budget;
+        if !budget <= 0 then
+          available := List.filter (fun (a', _) -> not (A.equal a a')) pool;
+        Some a
+    in
+  let out_count = ref 0 in
+  let mods =
+    List.map
+      (fun i ->
+        let n_in = 1 + Rng.int rng p.max_inputs in
+        let n_out = 1 + Rng.int rng p.max_outputs in
+        let rec pick_inputs n acc =
+          if n = 0 then List.rev acc
+          else
+            let choice =
+              if Rng.float rng < p.fresh_input_prob then fresh ()
+              else match take_available () with Some a -> a | None -> fresh ()
+            in
+            if List.exists (A.equal choice) acc then pick_inputs n acc
+            else pick_inputs (n - 1) (choice :: acc)
+        in
+        let inputs = pick_inputs n_in [] in
+        let outputs =
+          List.init n_out (fun _ ->
+              incr out_count;
+              A.boolean (Printf.sprintf "d%d" !out_count))
+        in
+        List.iter (fun o -> available := (o, ref p.max_sharing) :: !available) outputs;
+        random_module rng ~name:(Printf.sprintf "m%d" (i + 1)) ~inputs ~outputs)
+      (Svutil.Listx.range p.n_modules)
+  in
+  Workflow.create_exn mods
+
+let random_costs rng ?(max_cost = 10) w =
+  List.map (fun a -> (a, Rat.of_int (1 + Rng.int rng max_cost))) (Workflow.attr_names w)

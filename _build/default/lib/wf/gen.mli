@@ -1,0 +1,35 @@
+(** Random workflow generation.
+
+    Substitute for the real scientific workflows the paper draws on
+    (myGrid/Taverna, Kepler): the theory depends only on topology, module
+    arity, data-sharing degree and module tables, all of which are
+    parameters here. Modules have small arity by default, matching the
+    paper's observation that modules typically have fewer than ten
+    attributes. *)
+
+type params = {
+  n_modules : int;
+  max_inputs : int;  (** per module, >= 1 *)
+  max_outputs : int;  (** per module, >= 1 *)
+  max_sharing : int;  (** bound gamma on data sharing, >= 1 *)
+  fresh_input_prob : float;
+      (** probability that a module input is a fresh initial attribute
+          rather than a previously produced one *)
+}
+
+val default : params
+(** 4 modules, arity 2x2, gamma = 2, fresh probability 0.3. *)
+
+val random_module :
+  Svutil.Rng.t ->
+  name:string ->
+  inputs:Rel.Attr.t list ->
+  outputs:Rel.Attr.t list ->
+  Wmodule.t
+(** Uniformly random total function. *)
+
+val random_workflow : Svutil.Rng.t -> params -> Workflow.t
+(** A random all-boolean DAG workflow respecting [max_sharing]. *)
+
+val random_costs : Svutil.Rng.t -> ?max_cost:int -> Workflow.t -> (string * Rat.t) list
+(** Integer costs in [1, max_cost] (default 10) for every attribute. *)

@@ -1,0 +1,59 @@
+module A = Rel.Attr
+
+let bools = A.booleans
+
+let boolean_fn ~name ~inputs ~outputs f =
+  let wrap x =
+    let bits = Array.map (fun v -> v = 1) x in
+    Array.map (fun b -> if b then 1 else 0) (f bits)
+  in
+  Wmodule.of_fun ~name ~inputs:(bools inputs) ~outputs:(bools outputs) wrap
+
+let check_arity name inputs outputs =
+  if List.length inputs <> List.length outputs then
+    invalid_arg (Printf.sprintf "Library.%s: input/output arity mismatch" name)
+
+let identity ~name ~inputs ~outputs =
+  check_arity "identity" inputs outputs;
+  boolean_fn ~name ~inputs ~outputs (fun bits -> bits)
+
+let negate_all ~name ~inputs ~outputs =
+  check_arity "negate_all" inputs outputs;
+  boolean_fn ~name ~inputs ~outputs (Array.map not)
+
+let constant ~name ~inputs ~outputs value =
+  if Array.length value <> List.length outputs then
+    invalid_arg "Library.constant: value arity mismatch";
+  Wmodule.of_fun ~name ~inputs:(bools inputs) ~outputs:(bools outputs) (fun _ ->
+      Array.copy value)
+
+let majority ~name ~inputs ~output =
+  let k = (List.length inputs + 1) / 2 in
+  boolean_fn ~name ~inputs ~outputs:[ output ] (fun bits ->
+      let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+      [| ones >= k |])
+
+let fold_gate op init ~name ~inputs ~output =
+  boolean_fn ~name ~inputs ~outputs:[ output ] (fun bits ->
+      [| Array.fold_left op init bits |])
+
+let and_gate = fold_gate ( && ) true
+let or_gate = fold_gate ( || ) false
+let xor_gate = fold_gate ( <> ) false
+
+(* Figure 1: m1(a1,a2) = (a1 or a2, nand(a1,a2), not (a1 xor a2));
+   m2 and m3 are the NANDs read off Figure 1(b). *)
+
+let fig1_m1 =
+  boolean_fn ~name:"m1" ~inputs:[ "a1"; "a2" ] ~outputs:[ "a3"; "a4"; "a5" ]
+    (fun b -> [| b.(0) || b.(1); not (b.(0) && b.(1)); not (b.(0) <> b.(1)) |])
+
+let fig1_m2 =
+  boolean_fn ~name:"m2" ~inputs:[ "a3"; "a4" ] ~outputs:[ "a6" ]
+    (fun b -> [| not (b.(0) && b.(1)) |])
+
+let fig1_m3 =
+  boolean_fn ~name:"m3" ~inputs:[ "a4"; "a5" ] ~outputs:[ "a7" ]
+    (fun b -> [| not (b.(0) && b.(1)) |])
+
+let fig1_workflow () = Workflow.create_exn [ fig1_m1; fig1_m2; fig1_m3 ]

@@ -1,0 +1,45 @@
+(** A library of standard module functionalities, including the modules
+    used in the paper's examples (Figure 1, Examples 6-8). *)
+
+val identity : name:string -> inputs:string list -> outputs:string list -> Wmodule.t
+(** One-one boolean module copying input [i] to output [i]
+    (Proposition 2's [m1]). Input and output lists must have equal
+    length. *)
+
+val negate_all : name:string -> inputs:string list -> outputs:string list -> Wmodule.t
+(** One-one boolean module flipping every bit (Proposition 2's [m2]). *)
+
+val constant : name:string -> inputs:string list -> outputs:string list -> int array -> Wmodule.t
+(** Boolean module mapping every input to the given constant output
+    (Example 7's public module [m']). *)
+
+val majority : name:string -> inputs:string list -> output:string -> Wmodule.t
+(** Boolean majority of Example 6: outputs 1 iff at least half of the
+    [2k] inputs are 1 (the paper's threshold is [>= k] ones). *)
+
+val and_gate : name:string -> inputs:string list -> output:string -> Wmodule.t
+val or_gate : name:string -> inputs:string list -> output:string -> Wmodule.t
+val xor_gate : name:string -> inputs:string list -> output:string -> Wmodule.t
+
+val boolean_fn :
+  name:string ->
+  inputs:string list ->
+  outputs:string list ->
+  (bool array -> bool array) ->
+  Wmodule.t
+(** General boolean module from a function on bit vectors. *)
+
+(** {1 The running example of the paper (Figure 1)} *)
+
+val fig1_m1 : Wmodule.t
+(** [a3 = a1 or a2], [a4 = not (a1 and a2)], [a5 = not (a1 xor a2)]. *)
+
+val fig1_m2 : Wmodule.t
+(** Inputs [a3, a4], output [a6 = a3 and a4 -> ...] chosen to match the
+    paper's Figure 1(b) execution table. *)
+
+val fig1_m3 : Wmodule.t
+(** Inputs [a4, a5], output [a7] matching Figure 1(b). *)
+
+val fig1_workflow : unit -> Workflow.t
+(** The three-module workflow of Figure 1. *)

@@ -1,0 +1,192 @@
+module A = Rel.Attr
+module S = Rel.Schema
+module R = Rel.Relation
+
+type spec = {
+  workflow : Workflow.t;
+  costs : (string * Rat.t) list;
+  publics : (string * Rat.t) list;
+  gamma : int;
+  gamma_overrides : (string * int) list;
+}
+
+type mod_decl = {
+  md_name : string;
+  md_public : Rat.t option;  (** privatization cost when public *)
+  md_inputs : string list;
+  md_outputs : string list;
+  mutable md_rows : (int array * int array) list;
+  mutable md_fn : string list option;
+}
+
+exception Parse_error of int * string
+
+let fail lineno fmt = Printf.ksprintf (fun m -> raise (Parse_error (lineno, m))) fmt
+
+let tokens line =
+  let uncommented =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' uncommented
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* Split a token list at a keyword. *)
+let split_at kw lineno toks =
+  let rec go before = function
+    | [] -> fail lineno "expected keyword %s" kw
+    | t :: rest when t = kw -> (List.rev before, rest)
+    | t :: rest -> go (t :: before) rest
+  in
+  go [] toks
+
+let int_of lineno s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail lineno "expected an integer, got %s" s
+
+let rat_of lineno s =
+  match Rat.of_string s with
+  | v -> v
+  | exception _ -> fail lineno "expected a rational, got %s" s
+
+let parse_string text =
+  let attrs : (string, int * Rat.t) Hashtbl.t = Hashtbl.create 16 in
+  let attr_order = ref [] in
+  let mods : (string, mod_decl) Hashtbl.t = Hashtbl.create 16 in
+  let mod_order = ref [] in
+  let gamma = ref 2 in
+  let overrides = ref [] in
+  let find_mod lineno name =
+    match Hashtbl.find_opt mods name with
+    | Some d -> d
+    | None -> fail lineno "unknown module %s" name
+  in
+  let handle lineno toks =
+    match toks with
+    | [] -> ()
+    | [ "gamma"; g ] -> gamma := int_of lineno g
+    | [ "gamma"; m; g ] -> overrides := (m, int_of lineno g) :: !overrides
+    | "attr" :: name :: rest ->
+        if Hashtbl.mem attrs name then fail lineno "duplicate attribute %s" name;
+        let rec opts dom cost = function
+          | [] -> (dom, cost)
+          | "dom" :: d :: rest -> opts (int_of lineno d) cost rest
+          | "cost" :: c :: rest -> opts dom (rat_of lineno c) rest
+          | t :: _ -> fail lineno "unexpected token %s" t
+        in
+        let dom, cost = opts 2 Rat.one rest in
+        Hashtbl.replace attrs name (dom, cost);
+        attr_order := name :: !attr_order
+    | "module" :: name :: rest ->
+        if Hashtbl.mem mods name then fail lineno "duplicate module %s" name;
+        let md_public, rest =
+          match rest with
+          | "private" :: rest -> (None, rest)
+          | "public" :: "cost" :: c :: rest -> (Some (rat_of lineno c), rest)
+          | "public" :: rest -> (Some Rat.one, rest)
+          | _ -> fail lineno "expected private or public after module name"
+        in
+        let before_out, outputs = split_at "outputs" lineno rest in
+        let inputs =
+          match before_out with
+          | "inputs" :: ins -> ins
+          | _ -> fail lineno "expected inputs ... outputs ..."
+        in
+        if inputs = [] || outputs = [] then fail lineno "module needs inputs and outputs";
+        List.iter
+          (fun a -> if not (Hashtbl.mem attrs a) then fail lineno "undeclared attribute %s" a)
+          (inputs @ outputs);
+        Hashtbl.replace mods name
+          { md_name = name; md_public; md_inputs = inputs; md_outputs = outputs;
+            md_rows = []; md_fn = None };
+        mod_order := name :: !mod_order
+    | "row" :: name :: rest ->
+        let d = find_mod lineno name in
+        let before, after = split_at "->" lineno rest in
+        let ins = Array.of_list (List.map (int_of lineno) before) in
+        let outs = Array.of_list (List.map (int_of lineno) after) in
+        if Array.length ins <> List.length d.md_inputs then
+          fail lineno "row arity mismatch for inputs of %s" name;
+        if Array.length outs <> List.length d.md_outputs then
+          fail lineno "row arity mismatch for outputs of %s" name;
+        d.md_rows <- d.md_rows @ [ (ins, outs) ]
+    | "fn" :: name :: spec ->
+        let d = find_mod lineno name in
+        if spec = [] then fail lineno "fn needs a builtin name";
+        d.md_fn <- Some spec
+    | t :: _ -> fail lineno "unknown directive %s" t
+  in
+  let build_module (d : mod_decl) =
+    let attr name =
+      let dom, _ = Hashtbl.find attrs name in
+      A.make name ~dom
+    in
+    let inputs = List.map attr d.md_inputs and outputs = List.map attr d.md_outputs in
+    let booleans_only () =
+      if List.exists (fun a -> A.dom a <> 2) (inputs @ outputs) then
+        failwith (Printf.sprintf "module %s: builtins need boolean attributes" d.md_name)
+    in
+    match (d.md_fn, d.md_rows) with
+    | Some _, _ :: _ ->
+        failwith (Printf.sprintf "module %s has both fn and rows" d.md_name)
+    | Some spec, [] -> (
+        booleans_only ();
+        let ins = d.md_inputs and outs = d.md_outputs in
+        match spec with
+        | [ "identity" ] -> Library.identity ~name:d.md_name ~inputs:ins ~outputs:outs
+        | [ "negate" ] -> Library.negate_all ~name:d.md_name ~inputs:ins ~outputs:outs
+        | "constant" :: vals ->
+            Library.constant ~name:d.md_name ~inputs:ins ~outputs:outs
+              (Array.of_list (List.map int_of_string vals))
+        | [ "majority" ] | [ "and" ] | [ "or" ] | [ "xor" ] -> (
+            match (outs, List.hd spec) with
+            | [ o ], "majority" -> Library.majority ~name:d.md_name ~inputs:ins ~output:o
+            | [ o ], "and" -> Library.and_gate ~name:d.md_name ~inputs:ins ~output:o
+            | [ o ], "or" -> Library.or_gate ~name:d.md_name ~inputs:ins ~output:o
+            | [ o ], "xor" -> Library.xor_gate ~name:d.md_name ~inputs:ins ~output:o
+            | _ -> failwith (Printf.sprintf "module %s: gate builtins need one output" d.md_name))
+        | s :: _ -> failwith (Printf.sprintf "module %s: unknown builtin %s" d.md_name s)
+        | [] -> assert false)
+    | None, [] -> failwith (Printf.sprintf "module %s has no functionality" d.md_name)
+    | None, rows ->
+        let schema = S.of_list (inputs @ outputs) in
+        let table =
+          R.create schema (List.map (fun (i, o) -> Array.append i o) rows)
+        in
+        Wmodule.of_table ~name:d.md_name ~inputs ~outputs table
+  in
+  try
+    String.split_on_char '\n' text
+    |> List.iteri (fun i line -> handle (i + 1) (tokens line));
+    let decls = List.rev_map (Hashtbl.find mods) !mod_order in
+    if decls = [] then Error "no modules declared"
+    else begin
+      let wmods = List.map build_module decls in
+      match Workflow.create wmods with
+      | Error e -> Error e
+      | Ok workflow ->
+          let costs =
+            List.rev_map
+              (fun name ->
+                let _, cost = Hashtbl.find attrs name in
+                (name, cost))
+              !attr_order
+          in
+          let publics =
+            List.filter_map
+              (fun (d : mod_decl) -> Option.map (fun c -> (d.md_name, c)) d.md_public)
+              decls
+          in
+          Ok { workflow; costs; publics; gamma = !gamma; gamma_overrides = !overrides }
+    end
+  with
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Failure msg | Invalid_argument msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error e -> Error e

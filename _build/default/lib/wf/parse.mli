@@ -1,0 +1,29 @@
+(** A small text format for workflows, used by the command-line tool.
+
+    Line-oriented; [#] starts a comment. Directives:
+
+    {v
+    gamma 2                     # default privacy requirement
+    gamma m1 4                  # per-module override
+    attr a1 dom 2 cost 3        # dom defaults to 2, cost to 1 (rationals ok)
+    module m1 private inputs a1 a2 outputs a3
+    module qc public cost 5 inputs x outputs y
+    fn m1 and                   # builtin: identity|negate|constant v..|majority|and|or|xor
+    row m1 0 1 -> 1             # or explicit table rows (partial tables allowed)
+    v}
+
+    Builtin functionalities require boolean attributes. A module must
+    have either an [fn] directive or at least one [row]. *)
+
+type spec = {
+  workflow : Workflow.t;
+  costs : (string * Rat.t) list;
+  publics : (string * Rat.t) list;  (** public module name, privatization cost *)
+  gamma : int;
+  gamma_overrides : (string * int) list;
+}
+
+val parse_string : string -> (spec, string) result
+(** The error carries a line number and message. *)
+
+val parse_file : string -> (spec, string) result

@@ -1,0 +1,64 @@
+module A = Rel.Attr
+module S = Rel.Schema
+module R = Rel.Relation
+module T = Rel.Tuple
+
+type t = {
+  name : string;
+  inputs : A.t list;
+  outputs : A.t list;
+  table : R.t;
+}
+
+let of_table ~name ~inputs ~outputs table =
+  let in_names = List.map A.name inputs and out_names = List.map A.name outputs in
+  List.iter
+    (fun n ->
+      if List.mem n out_names then
+        invalid_arg (Printf.sprintf "Wmodule %s: attribute %s is both input and output" name n))
+    in_names;
+  let expected = S.of_list (inputs @ outputs) in
+  if not (S.equal expected (R.schema table)) then
+    invalid_arg (Printf.sprintf "Wmodule %s: table schema must be inputs @ outputs" name);
+  if not (R.satisfies_fd table ~lhs:in_names ~rhs:out_names) then
+    invalid_arg (Printf.sprintf "Wmodule %s: functional dependency I -> O violated" name);
+  { name; inputs; outputs; table }
+
+let of_partial_fun ~name ~inputs ~outputs ~defined_on f =
+  let schema = S.of_list (inputs @ outputs) in
+  let rows = List.map (fun x -> Array.append x (f x)) defined_on in
+  of_table ~name ~inputs ~outputs (R.create schema rows)
+
+let of_fun ~name ~inputs ~outputs f =
+  let in_schema = S.of_list inputs in
+  of_partial_fun ~name ~inputs ~outputs ~defined_on:(S.all_tuples in_schema) f
+
+let input_names t = List.map A.name t.inputs
+let output_names t = List.map A.name t.outputs
+let attr_names t = input_names t @ output_names t
+let arity t = List.length t.inputs + List.length t.outputs
+let input_schema t = S.of_list t.inputs
+let output_schema t = S.of_list t.outputs
+
+let apply t x =
+  let schema = R.schema t.table in
+  let ins = input_names t and outs = output_names t in
+  let found =
+    List.find_opt (fun row -> T.equal (T.project schema ins row) x) (R.rows t.table)
+  in
+  Option.map (T.project schema outs) found
+
+let defined_inputs t = R.rows (R.project t.table (input_names t))
+
+let is_one_one t =
+  R.distinct_values t.table (output_names t) = R.size t.table
+
+let is_constant t = R.distinct_values t.table (output_names t) <= 1
+
+let rename t name = { t with name }
+
+let pp fmt t =
+  Format.fprintf fmt "module %s: %s -> %s@.%a" t.name
+    (String.concat "," (input_names t))
+    (String.concat "," (output_names t))
+    R.pp t.table

@@ -1,0 +1,191 @@
+module A = Rel.Attr
+module S = Rel.Schema
+module R = Rel.Relation
+module T = Rel.Tuple
+
+type t = {
+  modules : Wmodule.t array;
+  schema : S.t;
+  initial : A.t list;
+}
+
+let ( let* ) = Result.bind
+
+let validate_names mods =
+  let names = List.map (fun (m : Wmodule.t) -> m.Wmodule.name) mods in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    Error "duplicate module names"
+  else Ok ()
+
+let validate_outputs_disjoint mods =
+  let all_outputs = List.concat_map Wmodule.output_names mods in
+  if List.length (List.sort_uniq compare all_outputs) <> List.length all_outputs then
+    Error "some attribute is produced by two modules"
+  else Ok ()
+
+let validate_domains mods =
+  let tbl = Hashtbl.create 16 in
+  let check a =
+    let name = A.name a and dom = A.dom a in
+    match Hashtbl.find_opt tbl name with
+    | Some dom' when dom <> dom' ->
+        Error (Printf.sprintf "attribute %s used with domains %d and %d" name dom' dom)
+    | _ ->
+        Hashtbl.replace tbl name dom;
+        Ok ()
+  in
+  List.fold_left
+    (fun acc (m : Wmodule.t) ->
+      let* () = acc in
+      List.fold_left
+        (fun acc a ->
+          let* () = acc in
+          check a)
+        (Ok ())
+        (m.Wmodule.inputs @ m.Wmodule.outputs))
+    (Ok ()) mods
+
+(* Kahn's algorithm over the module-dependency graph: m' -> m when some
+   output of m' is an input of m. Outputs are unique, so dependencies
+   are found through a producer map. *)
+let topo_sort mods =
+  let producer = Hashtbl.create 16 in
+  List.iteri
+    (fun i m -> List.iter (fun o -> Hashtbl.replace producer o i) (Wmodule.output_names m))
+    mods;
+  let arr = Array.of_list mods in
+  let n = Array.length arr in
+  let deps i =
+    Wmodule.input_names arr.(i)
+    |> List.filter_map (Hashtbl.find_opt producer)
+    |> List.sort_uniq compare
+  in
+  let indegree = Array.make n 0 in
+  let dependents = Array.make n [] in
+  Array.iteri
+    (fun i _ ->
+      List.iter
+        (fun j ->
+          indegree.(i) <- indegree.(i) + 1;
+          dependents.(j) <- i :: dependents.(j))
+        (deps i))
+    arr;
+  (* Preserve the caller's relative order among ties. *)
+  Array.iteri (fun i l -> dependents.(i) <- List.rev l) dependents;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    order := i :: !order;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j queue)
+      dependents.(i)
+  done;
+  if List.length !order <> n then Error "workflow contains a cycle"
+  else Ok (List.rev_map (fun i -> arr.(i)) !order)
+
+let create mods =
+  if mods = [] then Error "empty workflow"
+  else
+    let* () = validate_names mods in
+    let* () = validate_outputs_disjoint mods in
+    let* () = validate_domains mods in
+    let* sorted = topo_sort mods in
+    let produced = List.concat_map Wmodule.output_names sorted in
+    (* Initial inputs in first-appearance order, deduplicated. *)
+    let initial =
+      List.fold_left
+        (fun acc (m : Wmodule.t) ->
+          List.fold_left
+            (fun acc a ->
+              if List.mem (A.name a) produced then acc
+              else if List.exists (fun a' -> A.name a' = A.name a) acc then acc
+              else acc @ [ a ])
+            acc m.Wmodule.inputs)
+        [] sorted
+    in
+    let out_attrs = List.concat_map (fun (m : Wmodule.t) -> m.Wmodule.outputs) sorted in
+    let schema = S.of_list (initial @ out_attrs) in
+    Ok { modules = Array.of_list sorted; schema; initial }
+
+let create_exn mods =
+  match create mods with Ok t -> t | Error e -> invalid_arg ("Workflow.create: " ^ e)
+
+let modules t = Array.to_list t.modules
+
+let find_module t name =
+  List.find_opt (fun (m : Wmodule.t) -> m.Wmodule.name = name) (modules t)
+
+let module_names t = List.map (fun (m : Wmodule.t) -> m.Wmodule.name) (modules t)
+let attr_names t = S.names t.schema
+let initial_names t = List.map A.name t.initial
+
+let consumers t attr =
+  modules t
+  |> List.filter (fun m -> List.mem attr (Wmodule.input_names m))
+  |> List.map (fun (m : Wmodule.t) -> m.Wmodule.name)
+
+let producer t attr =
+  modules t
+  |> List.find_opt (fun m -> List.mem attr (Wmodule.output_names m))
+  |> Option.map (fun (m : Wmodule.t) -> m.Wmodule.name)
+
+let final_names t =
+  attr_names t
+  |> List.filter (fun a -> producer t a <> None && consumers t a = [])
+
+let intermediate_names t =
+  attr_names t
+  |> List.filter (fun a -> producer t a <> None && consumers t a <> [])
+
+let data_sharing_degree t =
+  Svutil.Listx.max_by (fun a -> List.length (consumers t a)) (attr_names t)
+
+let run t x =
+  let values = Hashtbl.create 16 in
+  List.iteri
+    (fun i a -> Hashtbl.replace values (A.name a) x.(i))
+    t.initial;
+  let ok =
+    Array.for_all
+      (fun m ->
+        let input = Array.of_list (List.map (Hashtbl.find values) (Wmodule.input_names m)) in
+        match Wmodule.apply m input with
+        | None -> false
+        | Some out ->
+            List.iteri (fun i o -> Hashtbl.replace values o out.(i)) (Wmodule.output_names m);
+            true)
+      t.modules
+  in
+  if not ok then None
+  else Some (Array.of_list (List.map (Hashtbl.find values) (S.names t.schema)))
+
+let relation ?initial_tuples t =
+  let inputs =
+    match initial_tuples with
+    | Some l -> l
+    | None -> S.all_tuples (S.of_list t.initial)
+  in
+  R.create t.schema (List.filter_map (run t) inputs)
+
+let with_modules t mods =
+  let compatible (a : Wmodule.t) (b : Wmodule.t) =
+    a.Wmodule.name = b.Wmodule.name
+    && List.equal A.equal a.Wmodule.inputs b.Wmodule.inputs
+    && List.equal A.equal a.Wmodule.outputs b.Wmodule.outputs
+  in
+  let subst (m : Wmodule.t) =
+    match List.find_opt (fun m' -> m'.Wmodule.name = m.Wmodule.name) mods with
+    | None -> m
+    | Some m' ->
+        if compatible m m' then m'
+        else invalid_arg "Workflow.with_modules: incompatible substitute"
+  in
+  { t with modules = Array.map subst t.modules }
+
+let pp fmt t =
+  Format.fprintf fmt "workflow over %a@." S.pp t.schema;
+  List.iter (fun m -> Format.fprintf fmt "%a@." Wmodule.pp m) (modules t)

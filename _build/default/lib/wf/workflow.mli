@@ -1,0 +1,58 @@
+(** Workflows (Section 2.3): modules connected in a DAG, jointly mapping
+    initial inputs to final outputs. The provenance relation [R] over all
+    attributes, whose tuples are workflow executions, is the input-output
+    join of the module relations. *)
+
+type t = private {
+  modules : Wmodule.t array;  (** topologically sorted *)
+  schema : Rel.Schema.t;  (** all attributes: initial inputs then outputs *)
+  initial : Rel.Attr.t list;  (** attributes produced by no module *)
+}
+
+val create : Wmodule.t list -> (t, string) result
+(** Validates the workflow: distinct module names; per-module disjoint
+    input/output names; pairwise-disjoint output sets (each data item has
+    a unique producer); domain-consistent shared attribute names;
+    acyclicity. Modules are re-ordered topologically. *)
+
+val create_exn : Wmodule.t list -> t
+(** @raise Invalid_argument with the validation error. *)
+
+val modules : t -> Wmodule.t list
+val find_module : t -> string -> Wmodule.t option
+val module_names : t -> string list
+val attr_names : t -> string list
+val initial_names : t -> string list
+
+val final_names : t -> string list
+(** Outputs consumed by no module. *)
+
+val intermediate_names : t -> string list
+(** Outputs consumed by at least one module. *)
+
+val producer : t -> string -> string option
+(** Name of the module producing the attribute, if any. *)
+
+val consumers : t -> string -> string list
+(** Names of the modules consuming the attribute. *)
+
+val data_sharing_degree : t -> int
+(** The workflow's gamma (Definition 3): the largest number of modules
+    any single attribute feeds. *)
+
+val run : t -> int array -> int array option
+(** Execute on an assignment of the initial attributes (in [initial]
+    order); [None] if some module is undefined on its input. *)
+
+val relation : ?initial_tuples:int array list -> t -> Rel.Relation.t
+(** The provenance relation [R]. By default every assignment of the
+    initial attributes is executed; executions on which some partial
+    module is undefined are dropped. *)
+
+val with_modules : t -> Wmodule.t list -> t
+(** Same topology with substituted module functionality (used by the
+    possible-world enumerators). The substitutes must agree with the
+    originals on names and attribute sets.
+    @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit

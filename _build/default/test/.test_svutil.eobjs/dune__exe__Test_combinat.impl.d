@@ -1,0 +1,1 @@
+test/test_combinat.ml: Alcotest Array Combinat List QCheck2 QCheck_alcotest Svutil

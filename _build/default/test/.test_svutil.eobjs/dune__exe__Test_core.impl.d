@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core List Option Printf Privacy QCheck2 QCheck_alcotest Rat Rel String Svutil Wf

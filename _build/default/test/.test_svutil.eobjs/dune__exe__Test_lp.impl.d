@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Format List Lp Printf QCheck2 QCheck_alcotest Rat String

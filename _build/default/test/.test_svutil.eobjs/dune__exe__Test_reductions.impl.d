@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Combinat Core List Rat Reductions Svutil

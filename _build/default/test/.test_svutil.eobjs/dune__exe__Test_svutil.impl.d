@@ -1,0 +1,1 @@
+test/test_svutil.ml: Alcotest Fun List QCheck2 QCheck_alcotest Svutil

@@ -1,0 +1,1 @@
+test/test_wf.ml: Alcotest Array List Option QCheck2 QCheck_alcotest Rat Rel String Svutil Wf

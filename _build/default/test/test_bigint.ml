@@ -1,0 +1,235 @@
+module B = Bigint
+
+let bi = Alcotest.testable B.pp B.equal
+
+let check_bi = Alcotest.check bi
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) (string_of_int n) (Some n) (B.to_int_opt (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 31; -(1 lsl 31);
+      max_int; 1 + (1 lsl 45); -(1 lsl 60) ]
+
+let test_min_int () =
+  let m = B.of_int min_int in
+  Alcotest.(check string) "to_string" (string_of_int min_int) (B.to_string m);
+  check_bi "roundtrip via string" m (B.of_string (string_of_int min_int))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789"; "1000000000"; "999999999999999999999999";
+      "-340282366920938463463374607431768211456";
+      "123456789012345678901234567890123456789012345678901234567890" ]
+
+let test_of_string_plus_sign () =
+  check_bi "+17" (B.of_int 17) (B.of_string "+17")
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises s (Invalid_argument "Bigint.of_string: invalid digit") (fun () ->
+          ignore (B.of_string s)))
+    [ "12a3"; "1 2" ];
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string") (fun () ->
+      ignore (B.of_string ""))
+
+let test_add_known () =
+  check_bi "big add"
+    (B.of_string "1000000000000000000000000000000")
+    (B.add (B.of_string "999999999999999999999999999999") B.one)
+
+let test_sub_known () =
+  check_bi "borrow chain" (B.of_string "-1")
+    (B.sub (B.of_string "999999999999999999999999999999")
+       (B.of_string "1000000000000000000000000000000"))
+
+let test_mul_known () =
+  check_bi "2^100"
+    (B.of_string "1267650600228229401496703205376")
+    (B.pow B.two 100);
+  check_bi "mixed signs" (B.of_int (-377)) (B.mul (B.of_int 13) (B.of_int (-29)))
+
+let test_divmod_known () =
+  let q, r = B.divmod (B.of_string "1267650600228229401496703205376") (B.of_string "97") in
+  check_bi "q" (B.of_string "13068562888950818572130960880") q;
+  check_bi "r" (B.of_int 16) r;
+  (* Multi-limb divisor exercises the Knuth-D path. *)
+  let q, r =
+    B.divmod
+      (B.add (B.pow (B.of_int 10) 40) (B.of_int 123456789))
+      (B.add (B.pow (B.of_int 10) 15) (B.of_int 7))
+  in
+  check_bi "knuth q" (B.of_string "9999999999999930000000000") q;
+  check_bi "knuth r" (B.of_string "490123456789") r
+
+let test_divmod_signs () =
+  let cases = [ (7, 2); (-7, 2); (7, -2); (-7, -2) ] in
+  List.iter
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      check_bi (Printf.sprintf "q %d/%d" a b) (B.of_int (a / b)) q;
+      check_bi (Printf.sprintf "r %d/%d" a b) (B.of_int (a mod b)) r)
+    cases
+
+let test_div_by_zero () =
+  Alcotest.check_raises "raise" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_gcd () =
+  check_bi "gcd 12 18" (B.of_int 6) (B.gcd (B.of_int 12) (B.of_int 18));
+  check_bi "gcd negative" (B.of_int 6) (B.gcd (B.of_int (-12)) (B.of_int 18));
+  check_bi "gcd zero" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  check_bi "gcd big"
+    (B.of_string "340282366920938463463374607431768211456")
+    (B.gcd (B.pow B.two 128) (B.pow B.two 200))
+
+let test_factorial () =
+  check_bi "0!" B.one (B.factorial 0);
+  check_bi "1!" B.one (B.factorial 1);
+  check_bi "20!" (B.of_string "2432902008176640000") (B.factorial 20);
+  check_bi "30!" (B.of_string "265252859812191058636308480000000") (B.factorial 30)
+
+let test_shift () =
+  check_bi "1 << 200" (B.pow B.two 200) (B.shift_left B.one 200);
+  check_bi "shift right" (B.of_int 5) (B.shift_right (B.of_int 10) 1);
+  check_bi "neg shift right truncates" (B.of_int (-2)) (B.shift_right (B.of_int (-5)) 1);
+  check_bi "round trip" (B.of_int 12345) (B.shift_right (B.shift_left (B.of_int 12345) 73) 73)
+
+let test_num_bits () =
+  Alcotest.(check int) "zero" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "one" 1 (B.num_bits B.one);
+  Alcotest.(check int) "2^30" 31 (B.num_bits (B.pow B.two 30));
+  Alcotest.(check int) "2^100-1" 100 (B.num_bits (B.pred (B.pow B.two 100)))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true (B.compare (B.of_int (-5)) (B.of_int 3) < 0);
+  Alcotest.(check bool) "big vs small" true
+    (B.compare (B.pow B.two 100) (B.of_int max_int) > 0);
+  Alcotest.(check bool) "neg big" true
+    (B.compare (B.neg (B.pow B.two 100)) (B.of_int min_int) < 0)
+
+let test_succ_pred () =
+  check_bi "succ 0" B.one (B.succ B.zero);
+  check_bi "pred 0" B.minus_one (B.pred B.zero);
+  check_bi "succ carry"
+    (B.pow B.two 60)
+    (B.succ (B.pred (B.pow B.two 60)));
+  check_bi "pred across zero" (B.of_int (-1)) (B.pred B.zero)
+
+let test_min_max_hash () =
+  let a = B.of_int 3 and b = B.of_int (-5) in
+  check_bi "min" b (B.min a b);
+  check_bi "max" a (B.max a b);
+  Alcotest.(check int) "hash stable for equal values"
+    (B.hash (B.of_string "123456789012345678901234567890"))
+    (B.hash (B.add (B.of_string "123456789012345678901234567889") B.one))
+
+let test_mul_add_int () =
+  check_bi "mul_int" (B.of_int (-34)) (B.mul_int (B.of_int 17) (-2));
+  check_bi "add_int" (B.of_int 20) (B.add_int (B.of_int 17) 3)
+
+let test_to_int_boundaries () =
+  Alcotest.(check (option int)) "2^62 - 1 fits" (Some max_int)
+    (B.to_int_opt (B.pred (B.pow B.two 62)));
+  Alcotest.(check (option int)) "2^62 rejected" None (B.to_int_opt (B.pow B.two 62));
+  Alcotest.check_raises "to_int_exn" (Failure "Bigint.to_int_exn: value does not fit in int")
+    (fun () -> ignore (B.to_int_exn (B.pow B.two 100)))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-6)) "small" 123.0 (B.to_float (B.of_int 123));
+  Alcotest.(check (float 1e9)) "2^70" (Float.pow 2.0 70.0) (B.to_float (B.pow B.two 70))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_big =
+  (* Random signed decimal strings up to 40 digits. *)
+  QCheck2.Gen.(
+    let* len = int_range 1 40 in
+    let* digits = list_size (return len) (int_range 0 9) in
+    let* negative = bool in
+    let s = String.concat "" (List.map string_of_int digits) in
+    return (B.of_string (if negative then "-" ^ s else s)))
+
+let arb_big = QCheck2.(Gen.map (fun b -> b) gen_big)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let small_int_pair = QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+
+let suite_props =
+  [
+    prop "string roundtrip" arb_big (fun a -> B.equal a (B.of_string (B.to_string a)));
+    prop "add matches int" small_int_pair (fun (a, b) ->
+        B.equal (B.of_int (a + b)) (B.add (B.of_int a) (B.of_int b)));
+    prop "mul matches int" small_int_pair (fun (a, b) ->
+        B.equal (B.of_int (a * b)) (B.mul (B.of_int a) (B.of_int b)));
+    prop "compare matches int" small_int_pair (fun (a, b) ->
+        Stdlib.compare a b = B.compare (B.of_int a) (B.of_int b));
+    prop "add commutes" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) ->
+        B.equal (B.add a b) (B.add b a));
+    prop "add associates" QCheck2.Gen.(triple gen_big gen_big gen_big) (fun (a, b, c) ->
+        B.equal (B.add (B.add a b) c) (B.add a (B.add b c)));
+    prop "mul commutes" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) ->
+        B.equal (B.mul a b) (B.mul b a));
+    prop "mul distributes" QCheck2.Gen.(triple gen_big gen_big gen_big) (fun (a, b, c) ->
+        B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    prop "sub inverse of add" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) ->
+        B.equal a (B.sub (B.add a b) b));
+    prop "divmod invariant" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) ->
+        if B.is_zero b then true
+        else
+          let q, r = B.divmod a b in
+          B.equal a (B.add (B.mul q b) r)
+          && B.compare (B.abs r) (B.abs b) < 0
+          && (B.is_zero r || B.sign r = B.sign a));
+    prop "mul then div recovers" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) ->
+        B.is_zero b || B.equal a (B.div (B.mul a b) b));
+    prop "gcd divides" QCheck2.Gen.(pair gen_big gen_big) (fun (a, b) ->
+        let g = B.gcd a b in
+        if B.is_zero g then B.is_zero a && B.is_zero b
+        else B.is_zero (B.rem a g) && B.is_zero (B.rem b g));
+    prop "shift left is mul by power" QCheck2.Gen.(pair gen_big (int_range 0 80)) (fun (a, k) ->
+        B.equal (B.shift_left a k) (B.mul a (B.pow B.two k)));
+    prop "neg involution" gen_big (fun a -> B.equal a (B.neg (B.neg a)));
+    prop "abs non-negative" gen_big (fun a -> B.sign (B.abs a) >= 0);
+    prop "to_float sign agrees" gen_big (fun a ->
+        let f = B.to_float a in
+        (B.sign a > 0 && f > 0.) || (B.sign a < 0 && f < 0.) || (B.sign a = 0 && f = 0.));
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "min_int" `Quick test_min_int;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "plus sign" `Quick test_of_string_plus_sign;
+          Alcotest.test_case "invalid strings" `Quick test_of_string_invalid;
+          Alcotest.test_case "add known" `Quick test_add_known;
+          Alcotest.test_case "sub known" `Quick test_sub_known;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "divmod known" `Quick test_divmod_known;
+          Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+          Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+          Alcotest.test_case "min/max/hash" `Quick test_min_max_hash;
+          Alcotest.test_case "mul_int/add_int" `Quick test_mul_add_int;
+          Alcotest.test_case "to_int boundaries" `Quick test_to_int_boundaries;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ("properties", suite_props);
+    ]

@@ -1,0 +1,163 @@
+module SC = Combinat.Set_cover
+module VC = Combinat.Vertex_cover
+module LC = Combinat.Label_cover
+
+(* Set cover -------------------------------------------------------- *)
+
+let sc_example () =
+  SC.make ~universe:5 ~sets:[ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 0; 4 ] ]
+
+let test_sc_validation () =
+  Alcotest.check_raises "out of range" (Invalid_argument "Set_cover.make: element out of range")
+    (fun () -> ignore (SC.make ~universe:2 ~sets:[ [ 0; 5 ] ]));
+  Alcotest.check_raises "not covering" (Invalid_argument "Set_cover.make: sets do not cover the universe")
+    (fun () -> ignore (SC.make ~universe:3 ~sets:[ [ 0 ] ]))
+
+let test_sc_exact () =
+  let sc = sc_example () in
+  let cover = SC.exact sc in
+  Alcotest.(check bool) "is cover" true (SC.is_cover sc cover);
+  Alcotest.(check int) "optimal size 2" 2 (List.length cover)
+
+let test_sc_greedy () =
+  let sc = sc_example () in
+  let cover = SC.greedy sc in
+  Alcotest.(check bool) "is cover" true (SC.is_cover sc cover);
+  Alcotest.(check bool) "at most universe" true (List.length cover <= 5)
+
+let test_sc_singletons () =
+  let sc = SC.make ~universe:3 ~sets:[ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  Alcotest.(check int) "exact 3" 3 (List.length (SC.exact sc))
+
+(* Vertex cover ------------------------------------------------------ *)
+
+let test_vc_triangle () =
+  let g = VC.make ~n:3 ~edges:[ (0, 1); (1, 2); (2, 0) ] in
+  let cover = VC.exact g in
+  Alcotest.(check bool) "is cover" true (VC.is_cover g cover);
+  Alcotest.(check int) "size 2" 2 (List.length cover)
+
+let test_vc_star () =
+  let g = VC.make ~n:5 ~edges:[ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  Alcotest.(check (list int)) "center" [ 0 ] (VC.exact g)
+
+let test_vc_approx2 () =
+  let g = VC.make ~n:6 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let approx = VC.approx2 g in
+  let exact = VC.exact g in
+  Alcotest.(check bool) "is cover" true (VC.is_cover g approx);
+  Alcotest.(check bool) "within factor 2" true
+    (List.length approx <= 2 * List.length exact)
+
+let test_vc_k4_cubic () =
+  let g = VC.make ~n:4 ~edges:[ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  Alcotest.(check bool) "K4 is cubic" true (VC.is_cubic g);
+  Alcotest.(check int) "cover size 3" 3 (List.length (VC.exact g))
+
+let test_vc_random_cubic () =
+  let rng = Svutil.Rng.create 11 in
+  for _ = 1 to 5 do
+    let g = VC.random_cubic rng ~n:8 in
+    Alcotest.(check bool) "cubic" true (VC.is_cubic g);
+    Alcotest.(check int) "edge count" 12 (List.length g.VC.edges)
+  done
+
+(* Label cover -------------------------------------------------------- *)
+
+let lc_example () =
+  LC.make ~left:2 ~right:2 ~labels:2
+    ~edges:
+      [
+        ((0, 0), [ (0, 0) ]);
+        ((0, 1), [ (0, 1); (1, 0) ]);
+        ((1, 1), [ (1, 1) ]);
+      ]
+
+let test_lc_validation () =
+  Alcotest.check_raises "empty relation" (Invalid_argument "Label_cover.make: empty relation")
+    (fun () -> ignore (LC.make ~left:1 ~right:1 ~labels:1 ~edges:[ ((0, 0), []) ]));
+  Alcotest.check_raises "dup edge" (Invalid_argument "Label_cover.make: duplicate edges")
+    (fun () ->
+      ignore
+        (LC.make ~left:1 ~right:1 ~labels:1
+           ~edges:[ ((0, 0), [ (0, 0) ]); ((0, 0), [ (0, 0) ]) ]))
+
+let test_lc_exact () =
+  let lc = lc_example () in
+  let a = LC.exact lc in
+  Alcotest.(check bool) "feasible" true (LC.is_feasible lc a);
+  (* u0 must get label 0 (edge (0,0)); w1 must get label 1 (edge (1,1));
+     u1 gets 1, w0 gets 0; edge (0,1) is then already satisfied via
+     (0,1). Total cost 4. *)
+  Alcotest.(check int) "cost 4" 4 (LC.cost a)
+
+let test_lc_single_edge () =
+  let lc = LC.make ~left:1 ~right:1 ~labels:3 ~edges:[ ((0, 0), [ (2, 1) ]) ] in
+  let a = LC.exact lc in
+  Alcotest.(check bool) "feasible" true (LC.is_feasible lc a);
+  Alcotest.(check int) "cost 2" 2 (LC.cost a)
+
+let test_lc_infeasible_assignment_detected () =
+  let lc = lc_example () in
+  let empty = { LC.left_labels = Array.make 2 []; right_labels = Array.make 2 [] } in
+  Alcotest.(check bool) "empty infeasible" false (LC.is_feasible lc empty)
+
+(* Properties ---------------------------------------------------------- *)
+
+let prop ?(count = 50) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let props =
+  [
+    prop "greedy covers and exact is minimal"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Svutil.Rng.create seed in
+        let sc = SC.random rng ~universe:8 ~n_sets:5 in
+        let g = SC.greedy sc and e = SC.exact sc in
+        SC.is_cover sc g && SC.is_cover sc e && List.length e <= List.length g);
+    prop "vertex cover exact below 2-approx"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Svutil.Rng.create seed in
+        let g = VC.random_cubic rng ~n:8 in
+        let e = VC.exact g and a = VC.approx2 g in
+        VC.is_cover g e && VC.is_cover g a
+        && List.length e <= List.length a
+        && List.length a <= 2 * List.length e);
+    prop "label cover exact is feasible and below trivial"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Svutil.Rng.create seed in
+        let lc = LC.random rng ~left:2 ~right:2 ~labels:2 ~edge_prob:0.6 in
+        let a = LC.exact lc in
+        LC.is_feasible lc a && LC.cost a <= 2 * List.length lc.LC.edges);
+  ]
+
+let () =
+  Alcotest.run "combinat"
+    [
+      ( "set cover",
+        [
+          Alcotest.test_case "validation" `Quick test_sc_validation;
+          Alcotest.test_case "exact" `Quick test_sc_exact;
+          Alcotest.test_case "greedy" `Quick test_sc_greedy;
+          Alcotest.test_case "singletons" `Quick test_sc_singletons;
+        ] );
+      ( "vertex cover",
+        [
+          Alcotest.test_case "triangle" `Quick test_vc_triangle;
+          Alcotest.test_case "star" `Quick test_vc_star;
+          Alcotest.test_case "2-approx" `Quick test_vc_approx2;
+          Alcotest.test_case "K4 cubic" `Quick test_vc_k4_cubic;
+          Alcotest.test_case "random cubic" `Quick test_vc_random_cubic;
+        ] );
+      ( "label cover",
+        [
+          Alcotest.test_case "validation" `Quick test_lc_validation;
+          Alcotest.test_case "exact" `Quick test_lc_exact;
+          Alcotest.test_case "single edge" `Quick test_lc_single_edge;
+          Alcotest.test_case "infeasible detected" `Quick test_lc_infeasible_assignment_detected;
+        ] );
+      ("properties", props);
+    ]

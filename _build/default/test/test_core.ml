@@ -1,0 +1,452 @@
+module Q = Rat
+module Req = Core.Requirement
+module Inst = Core.Instance
+module Der = Core.Derive
+module Sol = Core.Solution
+module L = Wf.Library
+module St = Privacy.Standalone
+
+let q = Alcotest.testable Q.pp Q.equal
+
+(* ------------------------------------------------------------------ *)
+(* Requirements                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_normalize_card () =
+  Alcotest.(check (list (pair int int)))
+    "dominated dropped" [ (0, 2); (1, 1); (2, 0) ]
+    (Req.normalize_card [ (2, 0); (2, 2); (1, 1); (0, 2); (2, 1) ])
+
+let test_normalize_sets () =
+  let norm = Req.normalize_sets [ ([ "a" ], []); ([ "a"; "b" ], []); ([], [ "c" ]) ] in
+  Alcotest.(check int) "superset dropped" 2 (List.length norm);
+  Alcotest.(check bool) "keeps a" true (List.mem ([ "a" ], []) norm);
+  Alcotest.(check bool) "keeps c" true (List.mem ([], [ "c" ]) norm)
+
+let test_is_satisfied () =
+  let inputs = [ "a"; "b" ] and outputs = [ "c" ] in
+  let card = Req.Card [ (2, 0); (0, 1) ] in
+  Alcotest.(check bool) "two inputs" true
+    (Req.is_satisfied card ~inputs ~outputs ~hidden:[ "a"; "b" ]);
+  Alcotest.(check bool) "output" true
+    (Req.is_satisfied card ~inputs ~outputs ~hidden:[ "c" ]);
+  Alcotest.(check bool) "one input insufficient" false
+    (Req.is_satisfied card ~inputs ~outputs ~hidden:[ "a" ]);
+  let sets = Req.Sets [ ([ "a" ], [ "c" ]) ] in
+  Alcotest.(check bool) "set option" true
+    (Req.is_satisfied sets ~inputs ~outputs ~hidden:[ "a"; "c"; "b" ]);
+  Alcotest.(check bool) "partial set" false
+    (Req.is_satisfied sets ~inputs ~outputs ~hidden:[ "a" ])
+
+let test_card_to_sets () =
+  let sets = Req.card_to_sets ~inputs:[ "a"; "b" ] ~outputs:[ "c" ] [ (1, 0); (0, 1) ] in
+  Alcotest.(check int) "three options" 3 (List.length sets);
+  Alcotest.(check bool) "a" true (List.mem ([ "a" ], []) sets);
+  Alcotest.(check bool) "b" true (List.mem ([ "b" ], []) sets);
+  Alcotest.(check bool) "c" true (List.mem ([], [ "c" ]) sets)
+
+(* ------------------------------------------------------------------ *)
+(* Derivation (Example 6 / E18)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_derive_one_one () =
+  (* One-one module with k=2: Example 6's sound list is {(k,0),(0,k)} for
+     Gamma = 2^k. It is not exact — {x1,y2} is also safe — so the full
+     requirement falls back to set form. *)
+  let id2 = L.identity ~name:"id" ~inputs:[ "x1"; "x2" ] ~outputs:[ "y1"; "y2" ] in
+  Alcotest.(check (list (pair int int)))
+    "sound pairs" [ (0, 2); (2, 0) ]
+    (Der.sound_cardinality id2 ~gamma:4);
+  Alcotest.(check bool) "not exact" true (Der.exact_cardinality id2 ~gamma:4 = None);
+  (match Der.requirement id2 ~gamma:4 with
+  | Req.Sets sets ->
+      Alcotest.(check bool) "asymmetric safe set present" true
+        (List.mem ([ "x1" ], [ "y2" ]) sets)
+  | Req.Card _ -> Alcotest.fail "expected set form");
+  (* For Gamma = 2 a single hidden attribute (any) suffices: exact. *)
+  Alcotest.(check (list (pair int int)))
+    "gamma 2 exact" [ (0, 1); (1, 0) ]
+    (Option.get (Der.exact_cardinality id2 ~gamma:2))
+
+let test_derive_majority () =
+  (* Majority on 2k inputs: {(k+1,0),(0,1)} for Gamma = 2. *)
+  let maj = L.majority ~name:"maj" ~inputs:[ "x1"; "x2"; "x3"; "x4" ] ~output:"y" in
+  match Der.requirement maj ~gamma:2 with
+  | Req.Card card ->
+      Alcotest.(check (list (pair int int))) "pairs" [ (0, 1); (3, 0) ] card
+  | Req.Sets _ -> Alcotest.fail "expected cardinality form"
+
+let test_derive_matches_standalone () =
+  (* The derived requirement characterizes standalone safety exactly. *)
+  let rng = Svutil.Rng.create 7 in
+  for _ = 1 to 25 do
+    let m =
+      Wf.Gen.random_module rng ~name:"m"
+        ~inputs:(Rel.Attr.booleans [ "i1"; "i2" ])
+        ~outputs:(Rel.Attr.booleans [ "o1" ])
+    in
+    let req = Der.requirement m ~gamma:2 in
+    Svutil.Subset.iter (Wf.Wmodule.attr_names m) (fun hidden ->
+        let by_req =
+          Req.is_satisfied req ~inputs:[ "i1"; "i2" ] ~outputs:[ "o1" ] ~hidden
+        in
+        let by_check = St.is_hidden_safe m ~hidden ~gamma:2 in
+        if by_req <> by_check then
+          Alcotest.failf "mismatch on hidden {%s}" (String.concat "," hidden))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Instances and solutions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let simple_instance () =
+  Inst.make
+    ~attr_costs:[ ("a", Q.one); ("b", Q.two); ("c", Q.of_int 3) ]
+    ~mods:
+      [
+        { Inst.m_name = "m1"; inputs = [ "a" ]; outputs = [ "b" ]; req = Req.Card [ (1, 0); (0, 1) ] };
+        { Inst.m_name = "m2"; inputs = [ "b" ]; outputs = [ "c" ]; req = Req.Card [ (1, 0) ] };
+      ]
+    ()
+
+let test_instance_validation () =
+  Alcotest.check_raises "unknown attr"
+    (Invalid_argument "Instance.make: m references unknown attribute z") (fun () ->
+      ignore
+        (Inst.make
+           ~attr_costs:[ ("a", Q.one) ]
+           ~mods:[ { Inst.m_name = "m"; inputs = [ "z" ]; outputs = []; req = Req.Card [] } ]
+           ()));
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Instance.make: negative cost for a") (fun () ->
+      ignore (Inst.make ~attr_costs:[ ("a", Q.minus_one) ] ~mods:[] ()))
+
+let test_instance_feasibility () =
+  let inst = simple_instance () in
+  Alcotest.(check bool) "b satisfies both" true
+    (Inst.feasible inst ~hidden:[ "b" ] ~privatized:[]);
+  Alcotest.(check bool) "a alone misses m2" false
+    (Inst.feasible inst ~hidden:[ "a" ] ~privatized:[]);
+  Alcotest.check q "cost" (Q.of_int 3) (Inst.cost inst ~hidden:[ "a"; "b" ] ~privatized:[])
+
+let test_solution_of_hidden_privatizes () =
+  let inst =
+    Inst.make
+      ~attr_costs:[ ("a", Q.one); ("b", Q.one) ]
+      ~mods:[ { Inst.m_name = "m"; inputs = [ "a" ]; outputs = [ "b" ]; req = Req.Card [ (1, 0) ] } ]
+      ~publics:[ { Inst.p_name = "p"; p_cost = Q.of_int 5; p_attrs = [ "a" ] } ]
+      ()
+  in
+  let s = Sol.of_hidden inst [ "a" ] in
+  Alcotest.(check (list string)) "privatized" [ "p" ] s.Sol.privatized;
+  Alcotest.check q "cost includes privatization" (Q.of_int 6) s.Sol.cost;
+  Alcotest.(check bool) "feasible" true (Sol.is_feasible inst s)
+
+(* ------------------------------------------------------------------ *)
+(* Objective (Section 6): utility of the visible data                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_objective_accounting () =
+  let inst = simple_instance () in
+  Alcotest.check q "total" (Q.of_int 6) (Core.Objective.total_utility inst);
+  let s = Sol.of_hidden inst [ "b" ] in
+  Alcotest.check q "visible = total - hidden" (Q.of_int 4)
+    (Core.Objective.visible_utility inst s);
+  Alcotest.check q "no publics: net = visible" (Q.of_int 4)
+    (Core.Objective.net_utility inst s);
+  match Core.Objective.max_visible_utility inst with
+  | Some (best, utility) ->
+      Alcotest.(check bool) "feasible" true (Sol.is_feasible inst best);
+      (* Hiding b (cost 2) is optimal, so max utility is 6 - 2 = 4. *)
+      Alcotest.check q "max utility" (Q.of_int 4) utility
+  | None -> Alcotest.fail "feasible instance"
+
+let test_objective_with_privatization () =
+  let inst =
+    Inst.make
+      ~attr_costs:[ ("a", Q.one); ("b", Q.one) ]
+      ~mods:[ { Inst.m_name = "m"; inputs = [ "a" ]; outputs = [ "b" ]; req = Req.Card [ (1, 0) ] } ]
+      ~publics:[ { Inst.p_name = "p"; p_cost = Q.of_int 5; p_attrs = [ "a" ] } ]
+      ()
+  in
+  let s = Sol.of_hidden inst [ "a" ] in
+  Alcotest.check q "visible utility ignores penalty" Q.one
+    (Core.Objective.visible_utility inst s);
+  Alcotest.check q "net utility subtracts privatization" (Q.of_int (-4))
+    (Core.Objective.net_utility inst s)
+
+(* ------------------------------------------------------------------ *)
+(* Example 5: the data-sharing gap                                     *)
+(* ------------------------------------------------------------------ *)
+
+let example5_instance n =
+  let eps = Q.of_ints 1 100 in
+  let bi i = Printf.sprintf "b%d" i in
+  let attr_costs =
+    [ ("a1", Q.one); ("a2", Q.add Q.one eps) ]
+    @ List.map (fun i -> (bi i, Q.one)) (Svutil.Listx.range n)
+    @ [ ("f", Q.of_int 1000) ]
+  in
+  let m = { Inst.m_name = "m"; inputs = [ "a1" ]; outputs = [ "a2" ]; req = Req.Card [ (1, 0); (0, 1) ] } in
+  let mi =
+    List.map
+      (fun i ->
+        {
+          Inst.m_name = Printf.sprintf "m%d" i;
+          inputs = [ "a2" ];
+          outputs = [ bi i ];
+          req = Req.Card [ (1, 0); (0, 1) ];
+        })
+      (Svutil.Listx.range n)
+  in
+  let m' =
+    {
+      Inst.m_name = "mfinal";
+      inputs = List.map bi (Svutil.Listx.range n);
+      outputs = [ "f" ];
+      req = Req.Card [ (1, 0) ];
+    }
+  in
+  Inst.make ~attr_costs ~mods:((m :: mi) @ [ m' ]) ()
+
+let test_example5_gap () =
+  let n = 5 in
+  let inst = example5_instance n in
+  let greedy = Core.Greedy.solve inst in
+  Alcotest.check q "greedy pays n+1" (Q.of_int (n + 1)) greedy.Sol.cost;
+  (match Core.Exact.brute_force inst with
+  | Some opt ->
+      Alcotest.check q "optimum is 2+eps" (Q.of_string "201/100") opt.Sol.cost
+  | None -> Alcotest.fail "instance is feasible");
+  match Core.Exact.solve ~fast:false inst with
+  | Some { solution; proven_optimal } ->
+      Alcotest.(check bool) "ilp proves optimality" true proven_optimal;
+      Alcotest.check q "ilp matches" (Q.of_string "201/100") solution.Sol.cost
+  | None -> Alcotest.fail "ilp should solve"
+
+(* ------------------------------------------------------------------ *)
+(* View materialization                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_secure_view_pipeline () =
+  let w = L.fig1_workflow () in
+  match
+    Core.View.secure_view w ~gamma:4
+      ~gamma_overrides:[ ("m2", 2); ("m3", 2) ]
+      ~cost:(fun _ -> Q.one)
+      ()
+  with
+  | Error e -> Alcotest.failf "pipeline failed: %s" e
+  | Ok view ->
+      let schema_names = Rel.Schema.names (Rel.Relation.schema view.Core.View.relation) in
+      Alcotest.(check (list string)) "schema is the visible set" view.Core.View.visible
+        schema_names;
+      List.iter
+        (fun h ->
+          Alcotest.(check bool) (h ^ " not in view") false (List.mem h schema_names))
+        view.Core.View.hidden;
+      (* The view is the projection of the provenance relation. *)
+      let expected = Rel.Relation.project (Wf.Workflow.relation w) view.Core.View.visible in
+      Alcotest.(check bool) "projection" true
+        (Rel.Relation.equal expected view.Core.View.relation);
+      (* All-private workflow: no renaming. *)
+      Alcotest.(check bool) "names unchanged" true
+        (List.for_all (fun (a, b) -> a = b) view.Core.View.module_names)
+
+let test_secure_view_privatizes_names () =
+  let m_pub = L.constant ~name:"mprime" ~inputs:[ "c" ] ~outputs:[ "x" ] [| 0 |] in
+  let m_priv = L.identity ~name:"m" ~inputs:[ "x" ] ~outputs:[ "y" ] in
+  let w = Wf.Workflow.create_exn [ m_pub; m_priv ] in
+  match
+    Core.View.secure_view w ~gamma:2
+      ~cost:(fun a -> if a = "y" then Q.of_int 10 else Q.one)
+      ~publics:[ ("mprime", Q.one) ]
+      ()
+  with
+  | Error e -> Alcotest.failf "pipeline failed: %s" e
+  | Ok view ->
+      (* Hiding x (cost 1 + privatization 1 = 2) beats hiding y (10). *)
+      Alcotest.(check (list string)) "hidden" [ "x" ] view.Core.View.hidden;
+      let published = List.assoc "mprime" view.Core.View.module_names in
+      Alcotest.(check bool) "renamed" true (published <> "mprime")
+
+let test_secure_view_infeasible () =
+  let gate = L.and_gate ~name:"g" ~inputs:[ "x"; "y" ] ~output:"z" in
+  let w = Wf.Workflow.create_exn [ gate ] in
+  (* Gamma = 4 exceeds the 1-bit output range: infeasible. *)
+  match Core.View.secure_view w ~gamma:4 ~cost:(fun _ -> Q.one) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_secure_view_solvers_agree_on_safety () =
+  let w = L.fig1_workflow () in
+  List.iter
+    (fun solver ->
+      match
+        Core.View.secure_view w ~gamma:2 ~cost:(fun _ -> Q.one) ~solver ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "solver failed: %s" e)
+    [ `Greedy; `Lp_rounding; `Exact ]
+
+(* ------------------------------------------------------------------ *)
+(* LPs, roundings, exact solvers                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_card_lp_bounds_opt () =
+  let inst = simple_instance () in
+  match Core.Card_lp.lp_relaxation inst with
+  | `Optimal (_, lp) ->
+      let opt = Option.get (Core.Exact.brute_force inst) in
+      Alcotest.(check bool) "lp <= opt" true (Q.leq lp opt.Sol.cost)
+  | `Infeasible -> Alcotest.fail "lp should be feasible"
+
+let test_algorithm1_feasible () =
+  let inst = simple_instance () in
+  match Core.Card_lp.lp_relaxation inst with
+  | `Optimal (x, _) ->
+      for seed = 0 to 9 do
+        let rng = Svutil.Rng.create seed in
+        let s = Core.Rounding.algorithm1 rng inst ~x in
+        Alcotest.(check bool) (Printf.sprintf "seed %d feasible" seed) true
+          (Sol.is_feasible inst s)
+      done
+  | `Infeasible -> Alcotest.fail "lp should be feasible"
+
+let test_threshold_bound () =
+  (* Theorem 6 accounting: threshold rounding costs at most lmax * LP. *)
+  let inst = Inst.to_sets (simple_instance ()) in
+  match Core.Set_lp.lp_relaxation inst with
+  | `Optimal (x, lp) ->
+      let s = Core.Rounding.threshold inst ~x in
+      Alcotest.(check bool) "feasible" true (Sol.is_feasible inst s);
+      let lmax = Q.of_int (Inst.lmax inst) in
+      Alcotest.(check bool) "cost <= lmax * lp" true (Q.leq s.Sol.cost (Q.mul lmax lp))
+  | `Infeasible -> Alcotest.fail "lp should be feasible"
+
+let test_infeasible_instance () =
+  let inst =
+    Inst.make
+      ~attr_costs:[ ("a", Q.one) ]
+      ~mods:[ { Inst.m_name = "m"; inputs = [ "a" ]; outputs = []; req = Req.Sets [] } ]
+      ()
+  in
+  Alcotest.(check bool) "brute none" true (Core.Exact.brute_force inst = None);
+  Alcotest.(check bool) "ilp none" true (Core.Exact.solve inst = None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties on random workflow-derived instances                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop ?(count = 25) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let gen_instance =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n_modules = int_range 1 4 in
+    let rng = Svutil.Rng.create seed in
+    let w =
+      Wf.Gen.random_workflow rng
+        { Wf.Gen.default with n_modules; max_inputs = 2; max_outputs = 1 }
+    in
+    let costs = Wf.Gen.random_costs rng w in
+    let cost a = List.assoc a costs in
+    return (w, Inst.of_workflow w ~gamma:2 ~cost ()))
+
+let props =
+  [
+    prop "ilp matches brute force" gen_instance (fun (_, inst) ->
+        match (Core.Exact.solve ~fast:false inst, Core.Exact.brute_force inst) with
+        | Some { solution; proven_optimal = true }, Some b ->
+            Q.equal solution.Sol.cost b.Sol.cost
+        | None, None -> true
+        | _ -> false);
+    prop "fast ilp matches brute force" gen_instance (fun (_, inst) ->
+        match (Core.Exact.solve ~fast:true inst, Core.Exact.brute_force inst) with
+        | Some { solution; _ }, Some b -> Q.equal solution.Sol.cost b.Sol.cost
+        | None, None -> true
+        | _ -> false);
+    prop "greedy is feasible and within (gamma+1) of optimal" gen_instance
+      (fun (w, inst) ->
+        let s = Core.Greedy.solve inst in
+        Sol.is_feasible inst s
+        &&
+        match Core.Exact.brute_force inst with
+        | Some opt ->
+            let bound =
+              Q.mul (Q.of_int (Wf.Workflow.data_sharing_degree w + 1)) opt.Sol.cost
+            in
+            Q.leq s.Sol.cost bound
+        | None -> false);
+    prop "lp relaxation bounds the optimum" gen_instance (fun (_, inst) ->
+        match (Core.Exact.lower_bound inst, Core.Exact.brute_force inst) with
+        | Some lp, Some opt -> Q.leq lp opt.Sol.cost
+        | None, None -> true
+        | _ -> false);
+    prop "algorithm1 rounding is feasible on derived instances" gen_instance
+      (fun (_, inst) ->
+        if not (List.for_all (fun (m : Inst.module_req) ->
+                    match m.Inst.req with Req.Card _ -> true | _ -> false)
+                  inst.Inst.mods)
+        then true
+        else
+          match Core.Card_lp.lp_relaxation ~fast:true inst with
+          | `Optimal (x, _) ->
+              let rng = Svutil.Rng.create 42 in
+              Sol.is_feasible inst (Core.Rounding.algorithm1 rng inst ~x)
+          | `Infeasible -> false);
+    prop "threshold rounding obeys the lmax bound" gen_instance (fun (_, inst) ->
+        match Core.Set_lp.lp_relaxation ~fast:false inst with
+        | `Optimal (x, lp) ->
+            let s = Core.Rounding.threshold inst ~x in
+            Sol.is_feasible inst s
+            && Q.leq s.Sol.cost (Q.mul (Q.of_int (max 1 (Inst.lmax (Inst.to_sets inst)))) lp)
+        | `Infeasible -> false);
+  ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "requirements",
+        [
+          Alcotest.test_case "normalize card" `Quick test_normalize_card;
+          Alcotest.test_case "normalize sets" `Quick test_normalize_sets;
+          Alcotest.test_case "is_satisfied" `Quick test_is_satisfied;
+          Alcotest.test_case "card to sets" `Quick test_card_to_sets;
+        ] );
+      ( "derivation",
+        [
+          Alcotest.test_case "one-one (example 6)" `Quick test_derive_one_one;
+          Alcotest.test_case "majority (example 6)" `Quick test_derive_majority;
+          Alcotest.test_case "matches standalone safety" `Quick test_derive_matches_standalone;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "feasibility" `Quick test_instance_feasibility;
+          Alcotest.test_case "privatization closure" `Quick test_solution_of_hidden_privatizes;
+        ] );
+      ( "objective (section 6)",
+        [
+          Alcotest.test_case "accounting" `Quick test_objective_accounting;
+          Alcotest.test_case "privatization penalty" `Quick test_objective_with_privatization;
+        ] );
+      ( "example 5",
+        [ Alcotest.test_case "data-sharing gap" `Quick test_example5_gap ] );
+      ( "view",
+        [
+          Alcotest.test_case "pipeline" `Quick test_secure_view_pipeline;
+          Alcotest.test_case "privatized names" `Quick test_secure_view_privatizes_names;
+          Alcotest.test_case "infeasible" `Quick test_secure_view_infeasible;
+          Alcotest.test_case "all solvers" `Quick test_secure_view_solvers_agree_on_safety;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "card lp bounds opt" `Quick test_card_lp_bounds_opt;
+          Alcotest.test_case "algorithm1 feasible" `Quick test_algorithm1_feasible;
+          Alcotest.test_case "threshold bound" `Quick test_threshold_bound;
+          Alcotest.test_case "infeasible instance" `Quick test_infeasible_instance;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,158 @@
+(* End-to-end integration tests: workflow -> derived instance -> solver
+   -> materialized view, validated against the privacy semantics. These
+   cross at least four libraries per assertion and are the closest thing
+   to a user's actual code path. *)
+
+module Q = Rat
+module M = Wf.Wmodule
+module W = Wf.Workflow
+module L = Wf.Library
+module R = Rel.Relation
+module St = Privacy.Standalone
+module Wp = Privacy.Wprivacy
+module Sol = Core.Solution
+
+let solvers = [ ("greedy", `Greedy); ("lp", `Lp_rounding); ("exact", `Exact) ]
+
+(* Validate a view produced by the pipeline against first principles. *)
+let validate_view ~w ~gamma ~publics (view : Core.View.t) =
+  let hidden = view.Core.View.hidden in
+  (* 1. The view relation is the projection of the provenance relation. *)
+  let expected = R.project (W.relation w) view.Core.View.visible in
+  Alcotest.(check bool) "view = projection" true (R.equal expected view.Core.View.relation);
+  (* 2. Every private module is standalone-safe w.r.t. its share. *)
+  List.iter
+    (fun (m : M.t) ->
+      if not (List.mem m.M.name publics) then
+        Alcotest.(check bool)
+          (m.M.name ^ " standalone-safe")
+          true
+          (St.is_safe m
+             ~visible:(Svutil.Listx.diff (M.attr_names m) hidden)
+             ~gamma))
+    (W.modules w);
+  (* 3. Exposed public modules are exactly the renamed ones. *)
+  let exposed = Wp.exposed_publics w ~public:publics ~hidden in
+  List.iter
+    (fun (orig, published) ->
+      let renamed = orig <> published in
+      Alcotest.(check bool)
+        (orig ^ " renaming matches exposure")
+        (List.mem orig exposed)
+        renamed)
+    view.Core.View.module_names
+
+let test_pipeline_on_random_all_private () =
+  let rng = Svutil.Rng.create 77 in
+  for _ = 1 to 10 do
+    let w =
+      Wf.Gen.random_workflow rng
+        { Wf.Gen.default with n_modules = 3; max_inputs = 2; max_outputs = 1 }
+    in
+    let costs = Wf.Gen.random_costs rng w in
+    let cost a = List.assoc a costs in
+    List.iter
+      (fun (name, solver) ->
+        match Core.View.secure_view w ~gamma:2 ~cost ~solver () with
+        | Ok view -> validate_view ~w ~gamma:2 ~publics:[] view
+        | Error e ->
+            (* Only acceptable failure: some module genuinely cannot be
+               made 2-private. *)
+            let achievable =
+              List.for_all
+                (fun m -> St.minimal_hidden_subsets m ~gamma:2 <> [])
+                (W.modules w)
+            in
+            if achievable then Alcotest.failf "%s failed: %s" name e)
+      solvers
+  done
+
+let test_pipeline_with_publics () =
+  let rng = Svutil.Rng.create 78 in
+  for _ = 1 to 6 do
+    let w =
+      Wf.Gen.random_workflow rng
+        { Wf.Gen.default with n_modules = 3; max_inputs = 2; max_outputs = 1 }
+    in
+    (* Make the topologically-first module public. *)
+    let first = List.hd (W.module_names w) in
+    let publics = [ (first, Q.of_int (1 + Svutil.Rng.int rng 5)) ] in
+    let costs = Wf.Gen.random_costs rng w in
+    let cost a = List.assoc a costs in
+    match Core.View.secure_view w ~gamma:2 ~cost ~publics () with
+    | Ok view -> validate_view ~w ~gamma:2 ~publics:[ first ] view
+    | Error _ ->
+        let achievable =
+          List.for_all
+            (fun (m : M.t) ->
+              m.M.name = first || St.minimal_hidden_subsets m ~gamma:2 <> [])
+            (W.modules w)
+        in
+        Alcotest.(check bool) "failure only when unachievable" false achievable
+  done
+
+let test_pipeline_matches_brute_oracle () =
+  (* Small enough to run the literal Definition 5 world enumeration on
+     the solver's output. *)
+  let rng = Svutil.Rng.create 79 in
+  for _ = 1 to 6 do
+    let w =
+      Wf.Gen.random_workflow rng
+        { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
+    in
+    let costs = Wf.Gen.random_costs rng w in
+    let cost a = List.assoc a costs in
+    match Core.View.secure_view w ~gamma:2 ~cost () with
+    | Ok view ->
+        Alcotest.(check bool) "brute oracle confirms" true
+          (Wp.is_safe_brute w ~public:[] ~gamma:2 ~visible:view.Core.View.visible)
+    | Error _ -> ()
+  done
+
+let test_parse_solve_roundtrip () =
+  (* The .swf path: parse a general workflow, solve, and validate. *)
+  let text =
+    {|
+gamma 2
+attr c cost 1
+attr x cost 2
+attr y cost 9
+module src public cost 3 inputs c outputs x
+fn src constant 0
+module m private inputs x outputs y
+fn m identity
+|}
+  in
+  match Wf.Parse.parse_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok spec -> (
+      let w = spec.Wf.Parse.workflow in
+      let cost a = List.assoc a spec.Wf.Parse.costs in
+      match
+        Core.View.secure_view w ~gamma:spec.Wf.Parse.gamma ~cost
+          ~publics:spec.Wf.Parse.publics ()
+      with
+      | Error e -> Alcotest.failf "solve: %s" e
+      | Ok view ->
+          (* Hiding x (2) + privatizing src (3) = 5 beats hiding y (9). *)
+          Alcotest.(check (list string)) "hidden" [ "x" ] view.Core.View.hidden;
+          Alcotest.check (Alcotest.testable Q.pp Q.equal) "cost" (Q.of_int 5)
+            view.Core.View.solution.Sol.cost;
+          validate_view ~w ~gamma:2 ~publics:[ "src" ] view;
+          (* The brute-force oracle agrees, with src privatized. *)
+          Alcotest.(check bool) "oracle" true
+            (Wp.is_safe_brute w ~public:[] ~gamma:2 ~visible:view.Core.View.visible))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "random all-private workflows" `Quick
+            test_pipeline_on_random_all_private;
+          Alcotest.test_case "random workflows with publics" `Quick test_pipeline_with_publics;
+          Alcotest.test_case "brute oracle confirms solver output" `Quick
+            test_pipeline_matches_brute_oracle;
+          Alcotest.test_case "parse -> solve -> view" `Quick test_parse_solve_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,375 @@
+module Q = Rat
+module P = Lp.Problem
+module L = Lp.Linexpr
+
+let q = Alcotest.testable Q.pp Q.equal
+let check_q = Alcotest.check q
+
+let le = L.of_list
+
+(* A tiny DSL for building snapshots in tests. [vars] is a list of
+   (name, ub option, integer); constraints use variable indexes. *)
+let build ~vars ~constraints ~objective =
+  let p = P.create () in
+  List.iter (fun (name, ub, integer) -> ignore (P.add_var ?ub ~integer p name)) vars;
+  List.iter (fun (expr, cmp, rhs) -> P.add_constraint p (le expr) cmp rhs) constraints;
+  P.set_objective p (le objective);
+  P.snapshot p
+
+let cvar ?ub name = (name, ub, false)
+let ivar ?ub name = (name, ub, true)
+
+let feasible (s : P.snapshot) values =
+  Array.for_all2
+    (fun lb v -> Q.leq lb v)
+    s.P.lb values
+  && Array.for_all2
+       (fun ub v -> match ub with None -> true | Some u -> Q.leq v u)
+       s.P.ub values
+  && Array.for_all
+       (fun (expr, cmp, rhs) ->
+         let v = L.eval expr (fun i -> values.(i)) in
+         match cmp with
+         | P.Le -> Q.leq v rhs
+         | P.Ge -> Q.geq v rhs
+         | P.Eq -> Q.equal v rhs)
+       s.P.constraints
+
+(* ------------------------------------------------------------------ *)
+(* Simplex unit tests (run against both scalar fields)                 *)
+(* ------------------------------------------------------------------ *)
+
+let simplex_cases =
+  (* (name, snapshot, expected) where expected is `Obj q | `Infeasible | `Unbounded *)
+  [
+    ( "maximize x+y on simplex",
+      build
+        ~vars:[ cvar "x"; cvar "y" ]
+        ~constraints:[ ([ (0, Q.one); (1, Q.one) ], P.Le, Q.one) ]
+        ~objective:[ (0, Q.minus_one); (1, Q.minus_one) ],
+      `Obj Q.minus_one );
+    ( "fractional vertex",
+      (* min 2x+3y st x+2y>=4, 3x+y>=6: optimum at (8/5,6/5), obj 34/5 *)
+      build
+        ~vars:[ cvar "x"; cvar "y" ]
+        ~constraints:
+          [
+            ([ (0, Q.one); (1, Q.two) ], P.Ge, Q.of_int 4);
+            ([ (0, Q.of_int 3); (1, Q.one) ], P.Ge, Q.of_int 6);
+          ]
+        ~objective:[ (0, Q.two); (1, Q.of_int 3) ],
+      `Obj (Q.of_ints 34 5) );
+    ( "equality constraint",
+      (* min x+2y st x+y=3, x<=1 -> x=1,y=2, obj 5 *)
+      build
+        ~vars:[ cvar ~ub:Q.one "x"; cvar "y" ]
+        ~constraints:[ ([ (0, Q.one); (1, Q.one) ], P.Eq, Q.of_int 3) ]
+        ~objective:[ (0, Q.one); (1, Q.two) ],
+      `Obj (Q.of_int 5) );
+    ( "upper bound binds",
+      (* min -x st x <= 3/2 *)
+      build
+        ~vars:[ cvar ~ub:(Q.of_ints 3 2) "x" ]
+        ~constraints:[]
+        ~objective:[ (0, Q.minus_one) ],
+      `Obj (Q.of_ints (-3) 2) );
+    ( "infeasible",
+      build
+        ~vars:[ cvar ~ub:Q.one "x" ]
+        ~constraints:[ ([ (0, Q.one) ], P.Ge, Q.two) ]
+        ~objective:[ (0, Q.one) ],
+      `Infeasible );
+    ( "infeasible bounds",
+      build
+        ~vars:[ ("x", Some Q.minus_one, false) ]
+        ~constraints:[]
+        ~objective:[ (0, Q.one) ],
+      `Infeasible );
+    ( "unbounded",
+      build ~vars:[ cvar "x" ] ~constraints:[] ~objective:[ (0, Q.minus_one) ],
+      `Unbounded );
+    ( "degenerate vertex",
+      (* Three constraints through the same optimum (0,1):
+         min -y st y<=1, x+y<=1, -x+y<=1 *)
+      build
+        ~vars:[ cvar "x"; cvar "y" ]
+        ~constraints:
+          [
+            ([ (1, Q.one) ], P.Le, Q.one);
+            ([ (0, Q.one); (1, Q.one) ], P.Le, Q.one);
+            ([ (0, Q.minus_one); (1, Q.one) ], P.Le, Q.one);
+          ]
+        ~objective:[ (1, Q.minus_one) ],
+      `Obj Q.minus_one );
+    ( "negative lower bound",
+      (let p = P.create () in
+       let x = P.add_var ~lb:(Q.of_int (-5)) p "x" in
+       P.add_constraint p (le [ (x, Q.one) ]) P.Ge (Q.of_int (-2));
+       P.set_objective p (le [ (x, Q.one) ]);
+       P.snapshot p),
+      `Obj (Q.of_int (-2)) );
+    ( "redundant equalities",
+      (* x+y=2 listed twice plus x-y=0 -> x=y=1 *)
+      build
+        ~vars:[ cvar "x"; cvar "y" ]
+        ~constraints:
+          [
+            ([ (0, Q.one); (1, Q.one) ], P.Eq, Q.two);
+            ([ (0, Q.one); (1, Q.one) ], P.Eq, Q.two);
+            ([ (0, Q.one); (1, Q.minus_one) ], P.Eq, Q.zero);
+          ]
+        ~objective:[ (0, Q.of_int 7); (1, Q.of_int 11) ],
+      `Obj (Q.of_int 18) );
+  ]
+
+let simplex_tests (module S : Lp.Simplex.SOLVER) exact =
+  List.map
+    (fun (name, snap, expected) ->
+      Alcotest.test_case name `Quick (fun () ->
+          match (S.solve snap, expected) with
+          | Lp.Simplex.Optimal { objective; values }, `Obj want ->
+              if exact then begin
+                check_q "objective" want objective;
+                Alcotest.(check bool) "solution feasible" true (feasible snap values)
+              end
+              else
+                Alcotest.(check (float 1e-6))
+                  "objective" (Q.to_float want) (Q.to_float objective)
+          | Lp.Simplex.Infeasible, `Infeasible -> ()
+          | Lp.Simplex.Unbounded, `Unbounded -> ()
+          | got, _ ->
+              let show = function
+                | Lp.Simplex.Optimal { objective; _ } -> "Optimal " ^ Q.to_string objective
+                | Lp.Simplex.Infeasible -> "Infeasible"
+                | Lp.Simplex.Unbounded -> "Unbounded"
+              in
+              Alcotest.failf "unexpected result: %s" (show got)))
+    simplex_cases
+
+(* ------------------------------------------------------------------ *)
+(* ILP unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ilp_knapsack () =
+  (* max 3x+4y st 2x+3y<=6, x,y in {0,1,2} -> x=0,y=2, value 8 *)
+  let s =
+    build
+      ~vars:[ ivar ~ub:Q.two "x"; ivar ~ub:Q.two "y" ]
+      ~constraints:[ ([ (0, Q.two); (1, Q.of_int 3) ], P.Le, Q.of_int 6) ]
+      ~objective:[ (0, Q.of_int (-3)); (1, Q.of_int (-4)) ]
+  in
+  match Lp.Ilp.Exact.solve s with
+  | Lp.Ilp.Optimal { objective; values } ->
+      check_q "objective" (Q.of_int (-8)) objective;
+      check_q "x" Q.zero values.(0);
+      check_q "y" Q.two values.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_ilp_cover () =
+  (* Triangle vertex cover: min x1+x2+x3, every edge covered -> 2. *)
+  let s =
+    build
+      ~vars:[ ivar ~ub:Q.one "x1"; ivar ~ub:Q.one "x2"; ivar ~ub:Q.one "x3" ]
+      ~constraints:
+        [
+          ([ (0, Q.one); (1, Q.one) ], P.Ge, Q.one);
+          ([ (1, Q.one); (2, Q.one) ], P.Ge, Q.one);
+          ([ (0, Q.one); (2, Q.one) ], P.Ge, Q.one);
+        ]
+      ~objective:[ (0, Q.one); (1, Q.one); (2, Q.one) ]
+  in
+  (* The LP relaxation has value 3/2 (all halves); the ILP must reach 2. *)
+  (match Lp.Simplex.Exact.solve s with
+  | Lp.Simplex.Optimal { objective; _ } -> check_q "lp relaxation" (Q.of_ints 3 2) objective
+  | _ -> Alcotest.fail "lp should be optimal");
+  match Lp.Ilp.Exact.solve s with
+  | Lp.Ilp.Optimal { objective; _ } -> check_q "ilp objective" Q.two objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_ilp_lp_feasible_ip_infeasible () =
+  (* 2x = 1 with x in {0,1}. *)
+  let s =
+    build
+      ~vars:[ ivar ~ub:Q.one "x" ]
+      ~constraints:[ ([ (0, Q.two) ], P.Eq, Q.one) ]
+      ~objective:[ (0, Q.one) ]
+  in
+  match Lp.Ilp.Exact.solve s with
+  | Lp.Ilp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_ilp_mixed () =
+  (* Mixed integer: min y - x st y integer, y >= x, x pinned to 5/2.
+     The LP relaxation picks y = 5/2; integrality forces y = 3 -> 1/2. *)
+  let s =
+    let p = P.create () in
+    let x = P.add_var ~lb:(Q.of_ints 5 2) ~ub:(Q.of_ints 5 2) p "x" in
+    let y = P.add_var ~integer:true p "y" in
+    P.add_constraint p (le [ (y, Q.one); (x, Q.minus_one) ]) P.Ge Q.zero;
+    P.set_objective p (le [ (y, Q.one); (x, Q.minus_one) ]);
+    P.snapshot p
+  in
+  match Lp.Ilp.Exact.solve s with
+  | Lp.Ilp.Optimal { objective; values } ->
+      check_q "objective" (Q.of_ints 1 2) objective;
+      check_q "y integral" (Q.of_int 3) values.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Linexpr                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_linexpr () =
+  let e = L.of_list [ (0, Q.one); (1, Q.two); (0, Q.one) ] in
+  check_q "combines repeated vars" Q.two (L.coeff e 0);
+  check_q "keeps others" Q.two (L.coeff e 1);
+  check_q "missing var is zero" Q.zero (L.coeff e 5);
+  Alcotest.(check (list int)) "vars" [ 0; 1 ] (L.vars e);
+  let cancelled = L.add e (L.of_list [ (0, Q.of_int (-2)) ]) in
+  Alcotest.(check (list int)) "cancellation drops the var" [ 1 ] (L.vars cancelled);
+  Alcotest.(check bool) "scale by zero empties" true (L.is_empty (L.scale Q.zero e));
+  check_q "eval" (Q.of_int 6) (L.eval e (fun v -> Q.of_int (v + 1)));
+  check_q "neg" (Q.of_int (-2)) (L.coeff (L.neg e) 0);
+  check_q "sum_of_vars" Q.one (L.coeff (L.sum_of_vars [ 3; 4 ]) 3)
+
+let test_problem_pp_smoke () =
+  let s = simplex_cases |> List.hd |> fun (_, snap, _) -> snap in
+  let rendered = Format.asprintf "%a" P.pp s in
+  Alcotest.(check bool) "mentions minimize" true
+    (String.length rendered > 0 && String.sub rendered 0 8 = "minimize")
+
+let test_ilp_node_limit () =
+  (* A 0/1 program with a tiny node budget: solver must not claim
+     optimality. *)
+  (* An odd cycle: the LP relaxation is uniquely all-halves, so the root
+     node cannot already be integral. *)
+  let s =
+    build
+      ~vars:(List.init 5 (fun i -> ivar ~ub:Q.one (Printf.sprintf "x%d" i)))
+      ~constraints:
+        (List.init 5 (fun i -> ([ (i, Q.one); ((i + 1) mod 5, Q.one) ], P.Ge, Q.one)))
+      ~objective:(List.init 5 (fun i -> (i, Q.one)))
+  in
+  match Lp.Ilp.Exact.solve ~node_limit:1 s with
+  | Lp.Ilp.Optimal _ -> Alcotest.fail "cannot be proven optimal in one node"
+  | Lp.Ilp.Feasible _ | Lp.Ilp.Unknown -> ()
+  | Lp.Ilp.Infeasible | Lp.Ilp.Unbounded -> Alcotest.fail "feasible and bounded"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+(* Random bounded LPs that are always feasible (all-Le constraints with
+   non-negative right-hand sides keep the origin feasible). *)
+let gen_bounded_lp =
+  QCheck2.Gen.(
+    let* nv = int_range 1 4 in
+    let* nc = int_range 1 4 in
+    let* rows =
+      list_size (return nc)
+        (pair (list_size (return nv) (int_range (-2) 3)) (int_range 0 8))
+    in
+    let* obj = list_size (return nv) (int_range (-4) 4) in
+    let p = P.create () in
+    for i = 0 to nv - 1 do
+      ignore (P.add_var ~ub:(Q.of_int 10) p (Printf.sprintf "x%d" i))
+    done;
+    List.iter
+      (fun (coeffs, rhs) ->
+        P.add_constraint p
+          (le (List.mapi (fun i c -> (i, Q.of_int c)) coeffs))
+          P.Le (Q.of_int rhs))
+      rows;
+    P.set_objective p (le (List.mapi (fun i c -> (i, Q.of_int c)) obj));
+    return (P.snapshot p))
+
+let props =
+  [
+    prop "exact solution is feasible" gen_bounded_lp (fun s ->
+        match Lp.Simplex.Exact.solve s with
+        | Lp.Simplex.Optimal { values; _ } -> feasible s values
+        | _ -> false);
+    prop "exact and fast agree on the optimum" gen_bounded_lp (fun s ->
+        match (Lp.Simplex.Exact.solve s, Lp.Simplex.Fast.solve s) with
+        | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b ->
+            Float.abs (Q.to_float a.objective -. Q.to_float b.objective) < 1e-6
+        | _ -> false);
+    prop "lp relaxation bounds the ilp" gen_bounded_lp (fun s ->
+        (* Mark all variables integral; LP optimum must lower-bound it. *)
+        let s' = P.all_integer s in
+        match (Lp.Simplex.Exact.solve s, Lp.Ilp.Exact.solve s') with
+        | Lp.Simplex.Optimal a, Lp.Ilp.Optimal b ->
+            Q.leq a.objective b.objective
+        | _ -> false);
+    prop "optimum invariant under constraint permutation" gen_bounded_lp (fun s ->
+        let reversed =
+          let p = P.create () in
+          Array.iteri (fun i ub -> ignore (P.add_var ?ub p (Printf.sprintf "x%d" i))) s.P.ub;
+          List.iter
+            (fun (e, c, r) -> P.add_constraint p e c r)
+            (List.rev (Array.to_list s.P.constraints));
+          P.set_objective p s.P.objective;
+          P.snapshot p
+        in
+        match (Lp.Simplex.Exact.solve s, Lp.Simplex.Exact.solve reversed) with
+        | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b -> Q.equal a.objective b.objective
+        | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible -> true
+        | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded -> true
+        | _ -> false);
+    prop "objective scaling scales the optimum" gen_bounded_lp (fun s ->
+        let scaled =
+          let p = P.create () in
+          Array.iteri (fun i ub -> ignore (P.add_var ?ub p (Printf.sprintf "x%d" i))) s.P.ub;
+          Array.iter (fun (e, c, r) -> P.add_constraint p e c r) s.P.constraints;
+          P.set_objective p (L.scale (Q.of_int 3) s.P.objective);
+          P.snapshot p
+        in
+        match (Lp.Simplex.Exact.solve s, Lp.Simplex.Exact.solve scaled) with
+        | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b ->
+            Q.equal (Q.mul (Q.of_int 3) a.objective) b.objective
+        | _ -> false);
+    prop "ilp matches brute force on binary programs" gen_bounded_lp (fun s ->
+        (* Restrict to 0/1 variables and check against enumeration. *)
+        let n = s.P.n in
+        let ub = Array.map (fun _ -> Some Q.one) s.P.ub in
+        let s' = P.all_integer (P.with_bounds s ~lb:s.P.lb ~ub) in
+        let best = ref None in
+        for mask = 0 to (1 lsl n) - 1 do
+          let values =
+            Array.init n (fun i -> if mask land (1 lsl i) <> 0 then Q.one else Q.zero)
+          in
+          if feasible s' values then begin
+            let obj = L.eval s'.P.objective (fun v -> values.(v)) in
+            match !best with
+            | Some b when Q.leq b obj -> ()
+            | _ -> best := Some obj
+          end
+        done;
+        match (Lp.Ilp.Exact.solve s', !best) with
+        | Lp.Ilp.Optimal { objective; _ }, Some want -> Q.equal want objective
+        | Lp.Ilp.Infeasible, None -> true
+        | _ -> false);
+  ]
+
+let () =
+  Alcotest.run "lp"
+    [
+      ("simplex exact", simplex_tests (module Lp.Simplex.Exact) true);
+      ("simplex fast", simplex_tests (module Lp.Simplex.Fast) false);
+      ( "ilp",
+        [
+          Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "vertex cover triangle" `Quick test_ilp_cover;
+          Alcotest.test_case "lp feasible, ip infeasible" `Quick test_ilp_lp_feasible_ip_infeasible;
+          Alcotest.test_case "mixed integer" `Quick test_ilp_mixed;
+          Alcotest.test_case "node limit" `Quick test_ilp_node_limit;
+        ] );
+      ( "modeling",
+        [
+          Alcotest.test_case "linexpr" `Quick test_linexpr;
+          Alcotest.test_case "problem pp" `Quick test_problem_pp_smoke;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,505 @@
+module A = Rel.Attr
+module S = Rel.Schema
+module R = Rel.Relation
+module M = Wf.Wmodule
+module W = Wf.Workflow
+module L = Wf.Library
+module St = Privacy.Standalone
+module Wo = Privacy.Worlds
+module Wp = Privacy.Wprivacy
+
+let m1 = L.fig1_m1
+
+(* ------------------------------------------------------------------ *)
+(* Standalone privacy: the paper's running example                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_example3_safe_sets () =
+  (* Example 3: {a1,a3,a5} is safe for m1 and Gamma = 4. *)
+  Alcotest.(check bool) "a1a3a5 safe" true
+    (St.is_safe m1 ~visible:[ "a1"; "a3"; "a5" ] ~gamma:4);
+  (* Hiding any two output attributes is safe for Gamma = 4. *)
+  List.iter
+    (fun visible ->
+      Alcotest.(check bool)
+        (String.concat "," visible ^ " safe")
+        true
+        (St.is_safe m1 ~visible ~gamma:4))
+    [ [ "a1"; "a2"; "a3" ]; [ "a1"; "a2"; "a4" ]; [ "a1"; "a2"; "a5" ] ];
+  (* But hiding only the inputs is not: OUT has 3 tuples. *)
+  Alcotest.(check bool) "a3a4a5 unsafe" false
+    (St.is_safe m1 ~visible:[ "a3"; "a4"; "a5" ] ~gamma:4);
+  Alcotest.(check int) "a3a4a5 gives exactly 3"
+    3
+    (St.min_out_size m1 ~visible:[ "a3"; "a4"; "a5" ])
+
+let test_example3_out_set () =
+  (* For x = (0,0) and V = {a1,a3,a5}:
+     OUT = {(0,0,1),(0,1,1),(1,0,0),(1,1,0)} (Example 3). *)
+  let out = Wo.standalone_out_set m1 ~visible:[ "a1"; "a3"; "a5" ] ~input:[| 0; 0 |] in
+  let expected = [ [| 0; 0; 1 |]; [| 0; 1; 1 |]; [| 1; 0; 0 |]; [| 1; 1; 0 |] ] in
+  Alcotest.(check int) "size" 4 (List.length out);
+  List.iter
+    (fun y ->
+      Alcotest.(check bool) (Rel.Tuple.to_string y) true
+        (List.exists (Rel.Tuple.equal y) out))
+    expected;
+  Alcotest.(check int) "closed form agrees" 4
+    (St.out_size m1 ~visible:[ "a1"; "a3"; "a5" ] ~input:[| 0; 0 |])
+
+let test_example2_worlds_count () =
+  (* Example 2: sixty four relations in Worlds(R1, {a1,a3,a5}). *)
+  Alcotest.(check int) "64 worlds" 64
+    (Wo.count_standalone_worlds m1 ~visible:[ "a1"; "a3"; "a5" ])
+
+let test_figure2_worlds_members () =
+  (* The four sample worlds of Figure 2 are members. *)
+  let worlds = Wo.standalone_worlds m1 ~visible:[ "a1"; "a3"; "a5" ] in
+  let schema = S.of_list (A.booleans [ "a1"; "a2"; "a3"; "a4"; "a5" ]) in
+  let mk rows = R.create schema (List.map Array.of_list rows) in
+  let samples =
+    [
+      mk [ [ 0; 0; 0; 0; 1 ]; [ 0; 1; 1; 0; 0 ]; [ 1; 0; 1; 0; 0 ]; [ 1; 1; 1; 0; 1 ] ];
+      mk [ [ 0; 0; 0; 1; 1 ]; [ 0; 1; 1; 1; 0 ]; [ 1; 0; 1; 0; 0 ]; [ 1; 1; 1; 0; 1 ] ];
+      mk [ [ 0; 0; 1; 0; 0 ]; [ 0; 1; 0; 0; 1 ]; [ 1; 0; 1; 0; 0 ]; [ 1; 1; 1; 0; 1 ] ];
+      mk [ [ 0; 0; 1; 1; 0 ]; [ 0; 1; 0; 1; 1 ]; [ 1; 0; 1; 0; 0 ]; [ 1; 1; 1; 0; 1 ] ];
+    ]
+  in
+  List.iteri
+    (fun i sample ->
+      Alcotest.(check bool)
+        (Printf.sprintf "R1^%d in worlds" (i + 1))
+        true
+        (List.exists (R.equal sample) worlds))
+    samples;
+  (* And the real R1 itself. *)
+  Alcotest.(check bool) "R1 in worlds" true (List.exists (R.equal m1.M.table) worlds)
+
+let test_one_one_example6 () =
+  (* One-one function with k inputs and k outputs: hiding any k inputs or
+     any k outputs guarantees 2^k-privacy (Example 6). *)
+  let id2 = L.identity ~name:"id" ~inputs:[ "x1"; "x2" ] ~outputs:[ "y1"; "y2" ] in
+  Alcotest.(check bool) "hide inputs" true
+    (St.is_hidden_safe id2 ~hidden:[ "x1"; "x2" ] ~gamma:4);
+  Alcotest.(check bool) "hide outputs" true
+    (St.is_hidden_safe id2 ~hidden:[ "y1"; "y2" ] ~gamma:4);
+  Alcotest.(check bool) "mixed pair only gives 2" false
+    (St.is_hidden_safe id2 ~hidden:[ "x1"; "y1" ] ~gamma:4);
+  Alcotest.(check bool) "mixed pair gives 2" true
+    (St.is_hidden_safe id2 ~hidden:[ "x1"; "y1" ] ~gamma:2);
+  Alcotest.(check bool) "one input is not enough" false
+    (St.is_hidden_safe id2 ~hidden:[ "x1" ] ~gamma:4)
+
+let test_majority_example6 () =
+  (* Majority on 2k inputs: hiding k+1 inputs or the output gives
+     2-privacy (Example 6); k inputs do not. *)
+  let maj = L.majority ~name:"maj" ~inputs:[ "x1"; "x2"; "x3"; "x4" ] ~output:"y" in
+  Alcotest.(check bool) "k+1 inputs" true
+    (St.is_hidden_safe maj ~hidden:[ "x1"; "x2"; "x3" ] ~gamma:2);
+  Alcotest.(check bool) "k inputs insufficient" false
+    (St.is_hidden_safe maj ~hidden:[ "x1"; "x2" ] ~gamma:2);
+  Alcotest.(check bool) "output alone" true
+    (St.is_hidden_safe maj ~hidden:[ "y" ] ~gamma:2)
+
+let test_minimal_hidden_subsets () =
+  let id1 = L.identity ~name:"id" ~inputs:[ "x" ] ~outputs:[ "y" ] in
+  let minimal = St.minimal_hidden_subsets id1 ~gamma:2 in
+  Alcotest.(check int) "two minimal sets" 2 (List.length minimal);
+  Alcotest.(check bool) "x" true (List.mem [ "x" ] minimal);
+  Alcotest.(check bool) "y" true (List.mem [ "y" ] minimal)
+
+let test_min_cost_hidden () =
+  let id1 = L.identity ~name:"id" ~inputs:[ "x" ] ~outputs:[ "y" ] in
+  let cost = function "x" -> Rat.of_int 3 | _ -> Rat.one in
+  (match St.min_cost_hidden id1 ~gamma:2 ~cost with
+  | Some (hidden, c) ->
+      Alcotest.(check (list string)) "picks y" [ "y" ] hidden;
+      Alcotest.(check bool) "cost 1" true (Rat.equal Rat.one c)
+  | None -> Alcotest.fail "expected a solution");
+  (* Impossible requirement: Gamma larger than the range. *)
+  Alcotest.(check bool) "impossible" true
+    (St.min_cost_hidden id1 ~gamma:5 ~cost = None)
+
+let test_pruning_ablation () =
+  let id2 = L.identity ~name:"id" ~inputs:[ "x1"; "x2" ] ~outputs:[ "y1"; "y2" ] in
+  let pruned = St.safe_check_calls id2 ~gamma:2 ~prune:true in
+  let naive = St.safe_check_calls id2 ~gamma:2 ~prune:false in
+  Alcotest.(check int) "naive checks all 16 subsets" 16 naive;
+  Alcotest.(check bool) "pruning saves checks" true (pruned < naive)
+
+let test_safe_visible_subsets_monotone () =
+  (* Proposition 1: the safe visible subsets are downward closed. *)
+  let safe = St.safe_visible_subsets m1 ~gamma:4 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun v' ->
+          if Svutil.Listx.is_subset v' v then
+            Alcotest.(check bool)
+              (String.concat "," v' ^ " subset of safe is safe")
+              true
+              (List.exists (fun s -> List.sort compare s = List.sort compare v') safe))
+        (Svutil.Subset.all v))
+    safe
+
+(* ------------------------------------------------------------------ *)
+(* Section 6 extensions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_non_additive_cost () =
+  (* Group discount: hiding both inputs together is cheaper than any
+     input/output mix — the additive solver cannot see that. *)
+  let id2 = L.identity ~name:"id" ~inputs:[ "x1"; "x2" ] ~outputs:[ "y1"; "y2" ] in
+  let bundle = [ "x1"; "x2" ] in
+  let cost hidden =
+    if List.sort compare hidden = bundle then Rat.of_ints 3 2
+    else Rat.of_int (List.length hidden)
+  in
+  (match St.min_cost_hidden_general id2 ~gamma:4 ~cost with
+  | Some (hidden, c) ->
+      Alcotest.(check (list string)) "bundle chosen" bundle (List.sort compare hidden);
+      Alcotest.(check bool) "cost 3/2" true (Rat.equal (Rat.of_ints 3 2) c)
+  | None -> Alcotest.fail "expected a solution");
+  (* With a monotone (plain additive) cost the pruned general search
+     agrees with the additive one. *)
+  let additive _ = Rat.one in
+  let general =
+    St.min_cost_hidden_general ~monotone:true id2 ~gamma:4
+      ~cost:(fun hidden -> Rat.sum (List.map additive hidden))
+  in
+  let plain = St.min_cost_hidden id2 ~gamma:4 ~cost:additive in
+  match (general, plain) with
+  | Some (_, a), Some (_, b) -> Alcotest.(check bool) "same cost" true (Rat.equal a b)
+  | _ -> Alcotest.fail "both should solve"
+
+let test_max_gamma_under_budget () =
+  let id2 = L.identity ~name:"id" ~inputs:[ "x1"; "x2" ] ~outputs:[ "y1"; "y2" ] in
+  let cost _ = Rat.one in
+  let level budget = fst (St.max_gamma_under_budget id2 ~cost ~budget:(Rat.of_int budget)) in
+  Alcotest.(check int) "budget 0 -> no privacy" 1 (level 0);
+  Alcotest.(check int) "budget 1 -> 2" 2 (level 1);
+  Alcotest.(check int) "budget 2 -> 4" 4 (level 2);
+  Alcotest.(check int) "budget 4 -> capped by range size" 4 (level 4);
+  let _, witness = St.max_gamma_under_budget id2 ~cost ~budget:Rat.two in
+  Alcotest.(check int) "witness within budget" 2 (List.length witness)
+
+let test_sampling_estimator () =
+  let m = m1 in
+  let visible = [ "a1"; "a3"; "a5" ] in
+  let full = St.min_out_size m ~visible in
+  let rng = Svutil.Rng.create 5 in
+  (* Sampling everything reproduces the exact minimum. *)
+  Alcotest.(check int) "full sample exact" full
+    (St.estimate_min_out_size rng m ~visible ~samples:100);
+  (* Any sample is an upper bound. *)
+  for samples = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%d samples upper-bounds" samples)
+      true
+      (St.estimate_min_out_size (Svutil.Rng.create samples) m ~visible ~samples >= full)
+  done;
+  (* One-sidedness: Unsafe verdicts are definitive. *)
+  let unsafe_view = [ "a3"; "a4"; "a5" ] in
+  (match St.check_sampled (Svutil.Rng.create 1) m ~visible:unsafe_view ~gamma:4 ~samples:100 with
+  | `Unsafe -> ()
+  | `Safe_on_sample -> Alcotest.fail "full sample must detect unsafety");
+  match St.check_sampled (Svutil.Rng.create 1) m ~visible ~gamma:4 ~samples:100 with
+  | `Safe_on_sample -> ()
+  | `Unsafe -> Alcotest.fail "safe view misreported"
+
+let test_data_supplier () =
+  (* Theorem 1's access model: safety decided through the supplier makes
+     exactly one query per execution and agrees with the direct check. *)
+  let s = Privacy.Supplier.of_module m1 in
+  Alcotest.(check int) "no calls yet" 0 (Privacy.Supplier.calls s);
+  (match Privacy.Supplier.query s [| 0; 0 |] with
+  | Some y -> Alcotest.(check bool) "m1(0,0) = (0,1,1)" true (y = [| 0; 1; 1 |])
+  | None -> Alcotest.fail "defined input");
+  Alcotest.(check int) "one call" 1 (Privacy.Supplier.calls s);
+  Privacy.Supplier.reset s;
+  let inputs = Wf.Wmodule.defined_inputs m1 in
+  let rebuilt = Privacy.Supplier.reconstruct s ~inputs in
+  Alcotest.(check bool) "reconstruction is exact" true
+    (R.equal m1.M.table rebuilt.M.table);
+  Alcotest.(check int) "N calls to reconstruct" (List.length inputs)
+    (Privacy.Supplier.calls s);
+  Privacy.Supplier.reset s;
+  List.iter
+    (fun visible ->
+      Alcotest.(check bool)
+        ("supplier check agrees on " ^ String.concat "," visible)
+        (St.is_safe m1 ~visible ~gamma:4)
+        (Privacy.Supplier.is_safe s ~inputs ~visible ~gamma:4))
+    [ [ "a1"; "a3"; "a5" ]; [ "a3"; "a4"; "a5" ]; [ "a1"; "a2"; "a3" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Workflow privacy                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let chain_public_constant () =
+  (* Example 7: public constant m' feeding a private one-one m. *)
+  let m_pub = L.constant ~name:"mprime" ~inputs:[ "c" ] ~outputs:[ "x" ] [| 0 |] in
+  let m_priv = L.identity ~name:"m" ~inputs:[ "x" ] ~outputs:[ "y" ] in
+  W.create_exn [ m_pub; m_priv ]
+
+let test_example7_public_breaks_privacy () =
+  let w = chain_public_constant () in
+  (* Hiding m's input x guarantees 2-standalone-privacy... *)
+  let m_priv = Option.get (W.find_module w "m") in
+  Alcotest.(check bool) "standalone safe" true
+    (St.is_hidden_safe m_priv ~hidden:[ "x" ] ~gamma:2);
+  (* ...but not 2-workflow-privacy when m' is a visible public module. *)
+  Alcotest.(check bool) "workflow unsafe with public constant" false
+    (Wp.is_safe_brute w ~public:[ "mprime" ] ~gamma:2 ~visible:[ "c"; "y" ])
+
+let test_example7_privatization_restores () =
+  let w = chain_public_constant () in
+  (* Privatizing m' (dropping it from the public list) restores privacy:
+     Theorem 8 with V = {c,y}, P = {}. *)
+  Alcotest.(check bool) "workflow safe after privatization" true
+    (Wp.is_safe_brute w ~public:[] ~gamma:2 ~visible:[ "c"; "y" ]);
+  Alcotest.(check bool) "theorem 8 criterion agrees" true
+    (Wp.theorem8_safe w ~public:[ "mprime" ] ~privatized:[ "mprime" ] ~gamma:2
+       ~hidden:[ "x" ]);
+  Alcotest.(check bool) "theorem 8 rejects exposed public" false
+    (Wp.theorem8_safe w ~public:[ "mprime" ] ~privatized:[] ~gamma:2 ~hidden:[ "x" ])
+
+let test_example7_invertible_downstream () =
+  (* Second half of Example 7: a public invertible module consuming m's
+     outputs reveals them. Hide m's output y; m'' = negate (invertible)
+     with visible output z. *)
+  let m_priv = L.identity ~name:"m" ~inputs:[ "x" ] ~outputs:[ "y" ] in
+  let m_pub = L.negate_all ~name:"msecond" ~inputs:[ "y" ] ~outputs:[ "z" ] in
+  let w = W.create_exn [ m_priv; m_pub ] in
+  Alcotest.(check bool) "standalone safe hiding y" true
+    (St.is_hidden_safe m_priv ~hidden:[ "y" ] ~gamma:2);
+  Alcotest.(check bool) "public inverse breaks privacy" false
+    (Wp.is_safe_brute w ~public:[ "msecond" ] ~gamma:2 ~visible:[ "x"; "z" ]);
+  Alcotest.(check bool) "privatizing m'' restores" true
+    (Wp.is_safe_brute w ~public:[] ~gamma:2 ~visible:[ "x"; "z" ])
+
+let test_exposed_publics () =
+  let w = chain_public_constant () in
+  Alcotest.(check (list string)) "x hidden exposes mprime" [ "mprime" ]
+    (Wp.exposed_publics w ~public:[ "mprime" ] ~hidden:[ "x" ]);
+  Alcotest.(check (list string)) "y hidden exposes nothing" []
+    (Wp.exposed_publics w ~public:[ "mprime" ] ~hidden:[ "y" ])
+
+let test_theorem4_on_fig1 () =
+  (* Compose standalone-safe hidden sets for the Figure 1 workflow and
+     check the brute-force oracle agrees it is workflow-safe. Hiding
+     {a1,a2} makes m1 safe (Gamma 2: actually 4); {a3,a4} for m2 needs
+     checking; use Gamma = 2 and hide {a4,a5,a3,a1,a2}? Keep it small:
+     hide a4 and a5 plus a3: all of m2's and m3's inputs and two of m1's
+     outputs. *)
+  let w = L.fig1_workflow () in
+  let hidden = [ "a3"; "a4"; "a5" ] in
+  (* m1: hiding 2+ outputs is 4-safe hence 2-safe; m2,m3: hiding both
+     inputs leaves outputs visible; standalone check decides. *)
+  let composed = Wp.compose_safe w ~gamma:2 ~hidden in
+  Alcotest.(check bool) "composition criterion" true composed
+
+let test_compose_matches_brute_small () =
+  (* A 2-module chain where we can afford the world enumeration. *)
+  let f = L.negate_all ~name:"f" ~inputs:[ "x" ] ~outputs:[ "u" ] in
+  let g = L.identity ~name:"g" ~inputs:[ "u" ] ~outputs:[ "v" ] in
+  let w = W.create_exn [ f; g ] in
+  (* Hiding u alone: f is standalone-safe (output hidden), g is
+     standalone-safe (input hidden). *)
+  Alcotest.(check bool) "compose criterion" true (Wp.compose_safe w ~gamma:2 ~hidden:[ "u" ]);
+  Alcotest.(check bool) "brute agrees" true
+    (Wp.is_safe_brute w ~public:[] ~gamma:2 ~visible:[ "x"; "v" ]);
+  (* Hiding nothing is unsafe both ways. *)
+  Alcotest.(check bool) "empty hidden unsafe (compose)" false
+    (Wp.compose_safe w ~gamma:2 ~hidden:[]);
+  Alcotest.(check bool) "empty hidden unsafe (brute)" false
+    (Wp.is_safe_brute w ~public:[] ~gamma:2 ~visible:[ "x"; "u"; "v" ])
+
+let test_workflow_worlds_tuples_definition4 () =
+  (* Literal Definition 4 on the tiny chain: worlds are partial functions
+     with FD constraints; compare against the function-family count for a
+     fully-hidden view where every total behaviour is allowed. *)
+  let f = L.identity ~name:"f" ~inputs:[ "x" ] ~outputs:[ "u" ] in
+  let w = W.create_exn [ f ] in
+  let tuple_worlds = Wo.workflow_worlds_tuples w ~public:[] ~visible:[ "x" ] in
+  (* Views must show both x values; u free per row: 2 x 2 = 4 worlds. *)
+  Alcotest.(check int) "4 worlds" 4 (List.length tuple_worlds);
+  let fn_worlds = Wo.workflow_worlds_functions w ~public:[] ~visible:[ "x" ] in
+  Alcotest.(check int) "4 function worlds" 4 (List.length fn_worlds)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: closed form vs. enumeration                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop ?(count = 40) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let gen_small_module =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n_in = int_range 1 2 in
+    let* n_out = int_range 1 2 in
+    let rng = Svutil.Rng.create seed in
+    let inputs = A.booleans (List.init n_in (fun i -> Printf.sprintf "i%d" i)) in
+    let outputs = A.booleans (List.init n_out (fun i -> Printf.sprintf "o%d" i)) in
+    return (Wf.Gen.random_module rng ~name:"m" ~inputs ~outputs))
+
+let gen_module_and_visible =
+  QCheck2.Gen.(
+    let* m = gen_small_module in
+    let attrs = M.attr_names m in
+    let* mask = int_range 0 ((1 lsl List.length attrs) - 1) in
+    let visible = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) attrs in
+    return (m, visible))
+
+let props =
+  [
+    prop "closed-form OUT size equals enumerated OUT size" gen_module_and_visible
+      (fun (m, visible) ->
+        List.for_all
+          (fun x ->
+            St.out_size m ~visible ~input:x
+            = List.length (Wo.standalone_out_set m ~visible ~input:x))
+          (M.defined_inputs m));
+    prop "is_safe agrees with enumerated minimum" gen_module_and_visible
+      (fun (m, visible) ->
+        let brute_min =
+          List.fold_left
+            (fun acc x ->
+              min acc (List.length (Wo.standalone_out_set m ~visible ~input:x)))
+            max_int (M.defined_inputs m)
+        in
+        List.for_all
+          (fun gamma -> St.is_safe m ~visible ~gamma = (brute_min >= gamma))
+          [ 1; 2; 3; 4; 8 ]);
+    prop "hiding more attributes never hurts (Proposition 1)" gen_module_and_visible
+      (fun (m, visible) ->
+        let smaller = List.filteri (fun i _ -> i mod 2 = 0) visible in
+        St.min_out_size m ~visible:smaller >= St.min_out_size m ~visible);
+    prop "min_cost_hidden with and without pruning agree" gen_small_module (fun m ->
+        let cost a = Rat.of_int (1 + (Hashtbl.hash a mod 5)) in
+        let a = St.min_cost_hidden ~prune:true m ~gamma:2 ~cost in
+        let b = St.min_cost_hidden ~prune:false m ~gamma:2 ~cost in
+        match (a, b) with
+        | Some (_, ca), Some (_, cb) -> Rat.equal ca cb
+        | None, None -> true
+        | _ -> false);
+    prop "minimal hidden subsets are safe and minimal" gen_small_module (fun m ->
+        let minimal = St.minimal_hidden_subsets m ~gamma:2 in
+        List.for_all
+          (fun h ->
+            St.is_hidden_safe m ~hidden:h ~gamma:2
+            && List.for_all
+                 (fun h' ->
+                   List.length h' >= List.length h
+                   || not (St.is_hidden_safe m ~hidden:h' ~gamma:2))
+                 (Svutil.Subset.all h))
+          minimal);
+    prop "the original relation is always a possible world" gen_module_and_visible
+      (fun (m, visible) ->
+        let worlds = Wo.standalone_worlds m ~visible in
+        worlds <> [] && List.exists (R.equal m.M.table) worlds);
+    prop "hiding attributes never shrinks the world set" gen_small_module (fun m ->
+        let all = M.attr_names m in
+        let full_view = Wo.count_standalone_worlds m ~visible:all in
+        let half_view =
+          Wo.count_standalone_worlds m ~visible:(List.filteri (fun i _ -> i mod 2 = 0) all)
+        in
+        half_view >= full_view);
+    prop ~count:15 "theorem 4: composed standalone safety implies brute workflow safety"
+      QCheck2.Gen.(
+        let* seed = int_range 0 1_000_000 in
+        let rng = Svutil.Rng.create seed in
+        let w =
+          Wf.Gen.random_workflow rng
+            { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
+        in
+        return w)
+      (fun w ->
+        (* Build the composed hidden set from per-module minimal ones. *)
+        let hidden =
+          List.concat_map
+            (fun m ->
+              match St.minimal_hidden_subsets m ~gamma:2 with
+              | h :: _ -> h
+              | [] -> M.attr_names m)
+            (W.modules w)
+          |> List.sort_uniq compare
+        in
+        if not (Wp.compose_safe w ~gamma:2 ~hidden) then
+          (* Some module cannot be made 2-private at all (constant range);
+             Theorem 4 is vacuous there. *)
+          true
+        else
+          let visible = Svutil.Listx.diff (W.attr_names w) hidden in
+          Wp.is_safe_brute w ~public:[] ~gamma:2 ~visible);
+    prop ~count:15 "theorem 8: standalone safety + privatization implies brute workflow safety"
+      QCheck2.Gen.(
+        let* seed = int_range 0 1_000_000 in
+        let rng = Svutil.Rng.create seed in
+        let w =
+          Wf.Gen.random_workflow rng
+            { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
+        in
+        return w)
+      (fun w ->
+        (* Declare the first module public, hide a standalone-safe set for
+           each private module, privatize exposed publics (Theorem 8),
+           and check the literal Definition 5/6 semantics. *)
+        match W.modules w with
+        | [] | [ _ ] -> true
+        | (pub : M.t) :: privates ->
+            let public = [ pub.M.name ] in
+            let hidden =
+              List.concat_map
+                (fun m ->
+                  match St.minimal_hidden_subsets m ~gamma:2 with
+                  | h :: _ -> h
+                  | [] -> M.attr_names m)
+                privates
+              |> List.sort_uniq compare
+            in
+            let privatized = Wp.exposed_publics w ~public ~hidden in
+            if not (Wp.theorem8_safe w ~public ~privatized ~gamma:2 ~hidden) then
+              true (* some private module cannot reach Gamma = 2 *)
+            else
+              let visible = Svutil.Listx.diff (W.attr_names w) hidden in
+              let still_public = Svutil.Listx.diff public privatized in
+              Wp.is_safe_brute w ~public:still_public ~gamma:2 ~visible);
+  ]
+
+let () =
+  Alcotest.run "privacy"
+    [
+      ( "standalone (paper examples)",
+        [
+          Alcotest.test_case "example 3 safe sets" `Quick test_example3_safe_sets;
+          Alcotest.test_case "example 3 OUT set" `Quick test_example3_out_set;
+          Alcotest.test_case "example 2: 64 worlds" `Quick test_example2_worlds_count;
+          Alcotest.test_case "figure 2 members" `Quick test_figure2_worlds_members;
+          Alcotest.test_case "example 6: one-one" `Quick test_one_one_example6;
+          Alcotest.test_case "example 6: majority" `Quick test_majority_example6;
+          Alcotest.test_case "minimal hidden subsets" `Quick test_minimal_hidden_subsets;
+          Alcotest.test_case "min cost hidden" `Quick test_min_cost_hidden;
+          Alcotest.test_case "pruning ablation" `Quick test_pruning_ablation;
+          Alcotest.test_case "safe sets downward closed" `Quick test_safe_visible_subsets_monotone;
+        ] );
+      ( "extensions (section 6)",
+        [
+          Alcotest.test_case "non-additive cost" `Quick test_non_additive_cost;
+          Alcotest.test_case "gamma under budget" `Quick test_max_gamma_under_budget;
+          Alcotest.test_case "sampling estimator" `Quick test_sampling_estimator;
+          Alcotest.test_case "data supplier (theorem 1 model)" `Quick test_data_supplier;
+        ] );
+      ( "workflow",
+        [
+          Alcotest.test_case "example 7: constant public" `Quick test_example7_public_breaks_privacy;
+          Alcotest.test_case "example 7: privatization" `Quick test_example7_privatization_restores;
+          Alcotest.test_case "example 7: invertible public" `Quick test_example7_invertible_downstream;
+          Alcotest.test_case "exposed publics" `Quick test_exposed_publics;
+          Alcotest.test_case "theorem 4 on figure 1" `Quick test_theorem4_on_fig1;
+          Alcotest.test_case "compose matches brute (chain)" `Quick test_compose_matches_brute_small;
+          Alcotest.test_case "definition 4 tuple worlds" `Quick test_workflow_worlds_tuples_definition4;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,122 @@
+module B = Bigint
+module Q = Rat
+
+let rat = Alcotest.testable Q.pp Q.equal
+let check_q = Alcotest.check rat
+
+let test_normalization () =
+  check_q "6/4 = 3/2" (Q.of_ints 3 2) (Q.of_ints 6 4);
+  check_q "neg den" (Q.of_ints (-3) 2) (Q.of_ints 3 (-2));
+  check_q "zero" Q.zero (Q.of_ints 0 17);
+  Alcotest.(check string) "den positive" "1" (B.to_string (Q.den (Q.of_ints 0 17)))
+
+let test_make_zero_den () =
+  Alcotest.check_raises "raise" Division_by_zero (fun () -> ignore (Q.of_ints 1 0))
+
+let test_arith () =
+  check_q "1/2 + 1/3" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "1/2 - 1/3" (Q.of_ints 1 6) (Q.sub (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "2/3 * 3/4" (Q.of_ints 1 2) (Q.mul (Q.of_ints 2 3) (Q.of_ints 3 4));
+  check_q "(1/2) / (3/4)" (Q.of_ints 2 3) (Q.div (Q.of_ints 1 2) (Q.of_ints 3 4));
+  check_q "inv" (Q.of_ints (-2) 5) (Q.inv (Q.of_ints (-5) 2))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Q.lt (Q.of_ints 1 3) (Q.of_ints 1 2));
+  Alcotest.(check bool) "-1/2 < 1/3" true (Q.lt (Q.of_ints (-1) 2) (Q.of_ints 1 3));
+  Alcotest.(check bool) "eq cross" true (Q.equal (Q.of_ints 2 4) (Q.of_ints 1 2));
+  check_q "min" (Q.of_ints 1 3) (Q.min (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "max" (Q.of_ints 1 2) (Q.max (Q.of_ints 1 2) (Q.of_ints 1 3))
+
+let test_floor_ceil () =
+  let check_fc s v fl ce =
+    Alcotest.(check string) (s ^ " floor") fl (B.to_string (Q.floor v));
+    Alcotest.(check string) (s ^ " ceil") ce (B.to_string (Q.ceil v))
+  in
+  check_fc "7/2" (Q.of_ints 7 2) "3" "4";
+  check_fc "-7/2" (Q.of_ints (-7) 2) "-4" "-3";
+  check_fc "4" (Q.of_int 4) "4" "4";
+  check_fc "-4" (Q.of_int (-4)) "-4" "-4"
+
+let test_strings () =
+  Alcotest.(check string) "int" "5" (Q.to_string (Q.of_int 5));
+  Alcotest.(check string) "frac" "-3/7" (Q.to_string (Q.of_ints 3 (-7)));
+  check_q "parse frac" (Q.of_ints 22 7) (Q.of_string "22/7");
+  check_q "parse int" (Q.of_int (-12)) (Q.of_string "-12");
+  check_q "parse decimal" (Q.of_ints 5 4) (Q.of_string "1.25");
+  check_q "parse neg decimal" (Q.of_ints (-5) 4) (Q.of_string "-1.25");
+  check_q "parse decimal < 1" (Q.of_ints 1 100) (Q.of_string "0.01")
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "1/4" 0.25 (Q.to_float (Q.of_ints 1 4));
+  Alcotest.(check (float 1e-9)) "-2/3" (-0.6666666666) (Q.to_float (Q.of_ints (-2) 3))
+
+let test_sum () =
+  check_q "harmonic 4" (Q.of_ints 25 12)
+    (Q.sum [ Q.one; Q.of_ints 1 2; Q.of_ints 1 3; Q.of_ints 1 4 ])
+
+let test_int_helpers () =
+  check_q "mul_int" (Q.of_ints 3 2) (Q.mul_int (Q.of_ints 1 2) 3);
+  check_q "div_int" (Q.of_ints 1 6) (Q.div_int (Q.of_ints 1 2) 3);
+  Alcotest.check_raises "div_int by zero" Division_by_zero (fun () ->
+      ignore (Q.div_int Q.one 0));
+  check_q "abs" (Q.of_ints 2 3) (Q.abs (Q.of_ints (-2) 3));
+  Alcotest.(check int) "sign neg" (-1) (Q.sign (Q.of_ints (-1) 7));
+  Alcotest.(check int) "sign zero" 0 (Q.sign Q.zero)
+
+let test_to_int_opt () =
+  Alcotest.(check (option int)) "int" (Some 9) (Q.to_int_opt (Q.of_ints 18 2));
+  Alcotest.(check (option int)) "non-int" None (Q.to_int_opt (Q.of_ints 1 2))
+
+(* Property tests *)
+
+let gen_rat =
+  QCheck2.Gen.(
+    let* n = int_range (-10000) 10000 in
+    let* d = int_range 1 10000 in
+    return (Q.of_ints n d))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let props =
+  [
+    prop "add commutes" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
+        Q.equal (Q.add a b) (Q.add b a));
+    prop "mul distributes" QCheck2.Gen.(triple gen_rat gen_rat gen_rat) (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "sub then add" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
+        Q.equal a (Q.add (Q.sub a b) b));
+    prop "div then mul" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
+        Q.is_zero b || Q.equal a (Q.mul (Q.div a b) b));
+    prop "normalized gcd" gen_rat (fun a ->
+        B.equal B.one (B.gcd (Q.num a) (Q.den a)) || Q.is_zero a);
+    prop "floor <= x < floor+1" gen_rat (fun a ->
+        let f = Q.of_bigint (Q.floor a) in
+        Q.leq f a && Q.lt a (Q.add f Q.one));
+    prop "ceil - floor <= 1" gen_rat (fun a ->
+        let d = B.sub (Q.ceil a) (Q.floor a) in
+        B.equal d B.zero || B.equal d B.one);
+    prop "string roundtrip" gen_rat (fun a -> Q.equal a (Q.of_string (Q.to_string a)));
+    prop "to_float close" gen_rat (fun a ->
+        Float.abs (Q.to_float a -. (Q.to_float (Q.of_bigint (Q.num a)) /. Q.to_float (Q.of_bigint (Q.den a)))) < 1e-9);
+    prop "compare antisym" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
+        Q.compare a b = -Q.compare b a);
+  ]
+
+let () =
+  Alcotest.run "rat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero denominator" `Quick test_make_zero_den;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "sum" `Quick test_sum;
+          Alcotest.test_case "int helpers" `Quick test_int_helpers;
+          Alcotest.test_case "to_int_opt" `Quick test_to_int_opt;
+        ] );
+      ("properties", props);
+    ]
