@@ -1,0 +1,22 @@
+.PHONY: build test bench bench-smoke bench-json clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Tiny-quota timing pass over every kernel: exercises the whole bechamel
+# harness (including the pruned-vs-naive twins) in a few seconds.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+# Full timing run, recorded as a flat JSON baseline.
+bench-json:
+	dune exec bench/main.exe -- --timings --json BENCH_PR1.json
+
+clean:
+	dune clean

@@ -3,7 +3,9 @@
    dune exec bench/main.exe                 -- all experiment tables + timings
    dune exec bench/main.exe -- e05 e07      -- selected experiments only
    dune exec bench/main.exe -- --no-timings -- tables only
-   dune exec bench/main.exe -- --timings    -- bechamel timings only *)
+   dune exec bench/main.exe -- --timings    -- bechamel timings only
+   dune exec bench/main.exe -- --smoke      -- tiny quota (CI sanity run)
+   dune exec bench/main.exe -- --json F     -- also write timings to F *)
 
 open Bechamel
 open Toolkit
@@ -12,8 +14,35 @@ module L = Wf.Library
 module St = Privacy.Standalone
 module Rng = Svutil.Rng
 
+(* Naive reference for e13: minimum |OUT_{x,W}| through the
+   generate-and-test oracle, re-enumerating the worlds per input exactly
+   as the pre-pruning implementation did. *)
+let naive_min_out_size w ~public ~visible ~module_name =
+  let m =
+    match Wf.Workflow.find_module w module_name with
+    | Some m -> m
+    | None -> invalid_arg ("bench: no module " ^ module_name)
+  in
+  let r = Wf.Workflow.relation w in
+  let schema = Rel.Relation.schema r in
+  let inputs =
+    Rel.Relation.rows r
+    |> List.map
+         (Rel.Tuple.project_ordered schema (Wf.Wmodule.input_names m))
+    |> List.sort_uniq Rel.Tuple.compare
+  in
+  List.fold_left
+    (fun acc input ->
+      min acc
+        (List.length
+           (Privacy.Worlds_naive.workflow_out_set w ~public ~visible
+              ~module_name ~input)))
+    max_int inputs
+
 (* One bechamel test per experiment: a small fixed kernel representative
-   of the experiment's dominant operation. *)
+   of the experiment's dominant operation. The _naive twins time the
+   generate-and-test oracle on the same kernel, so a single run yields
+   the pruned-vs-naive speedup. *)
 let timing_tests () =
   let fig1 = L.fig1_m1 in
   let card_inst =
@@ -30,13 +59,17 @@ let timing_tests () =
     Combinat.Label_cover.random (Rng.create 45) ~left:2 ~right:1 ~labels:2 ~edge_prob:0.7
   in
   let g = Combinat.Vertex_cover.random_cubic (Rng.create 46) ~n:4 in
+  (* Two-module boolean chain with four initial assignments: big enough
+     that the naive function space (256 * 16 substitutions) dominates,
+     small enough for the naive twin to finish in a bench quota. *)
   let chain =
     Wf.Workflow.create_exn
       [
-        L.constant ~name:"m'" ~inputs:[ "c" ] ~outputs:[ "x" ] [| 0 |];
-        L.identity ~name:"m" ~inputs:[ "x" ] ~outputs:[ "y" ];
+        L.identity ~name:"m1" ~inputs:[ "x0"; "x1" ] ~outputs:[ "u0"; "u1" ];
+        L.xor_gate ~name:"m2" ~inputs:[ "u0"; "u1" ] ~output:"y";
       ]
   in
+  let chain_visible = [ "x0"; "x1"; "y" ] in
   let tiny_wf =
     Wf.Gen.random_workflow (Rng.create 47)
       { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
@@ -53,10 +86,18 @@ let timing_tests () =
         ignore (St.is_safe fig1 ~visible:[ "a1"; "a3"; "a5" ] ~gamma:4));
     stage "e02_worlds_enum" (fun () ->
         ignore (Privacy.Worlds.count_standalone_worlds fig1 ~visible:[ "a1"; "a3"; "a5" ]));
+    stage "e02_worlds_enum_naive" (fun () ->
+        ignore
+          (Privacy.Worlds_naive.count_standalone_worlds fig1
+             ~visible:[ "a1"; "a3"; "a5" ]));
     stage "e03_workflow_worlds" (fun () ->
         ignore
           (Privacy.Worlds.workflow_worlds_functions chain ~public:[]
-             ~visible:[ "c"; "y" ]));
+             ~visible:chain_visible));
+    stage "e03_workflow_worlds_naive" (fun () ->
+        ignore
+          (Privacy.Worlds_naive.workflow_worlds_functions chain ~public:[]
+             ~visible:chain_visible));
     stage "e04_greedy_gap" (fun () ->
         ignore (Core.Greedy.solve (Experiments.example5_instance 8)));
     stage "e05_card_lp_fast" (fun () ->
@@ -88,8 +129,12 @@ let timing_tests () =
         ignore (Core.Exact.solve ~fast:true (Reductions.Vc_nosharing.of_vertex_cover g)));
     stage "e13_brute_out_size" (fun () ->
         ignore
-          (Privacy.Wprivacy.min_out_size_brute chain ~public:[] ~visible:[ "c"; "y" ]
-             ~module_name:"m"));
+          (Privacy.Wprivacy.min_out_size_brute chain ~public:[]
+             ~visible:chain_visible ~module_name:"m2"));
+    stage "e13_brute_out_size_naive" (fun () ->
+        ignore
+          (naive_min_out_size chain ~public:[] ~visible:chain_visible
+             ~module_name:"m2"));
     stage "e14_general_gadget_ilp" (fun () ->
         ignore (Core.Exact.solve ~fast:true (Reductions.Sc_general.of_set_cover sc)));
     stage "e15_general_lc_gadget_ilp" (fun () ->
@@ -102,40 +147,75 @@ let timing_tests () =
         ignore (Core.Derive.requirement fig1 ~gamma:4));
   ]
 
-let run_timings () =
+(* Flat { "test": ns_per_run } object; hand-rolled since the estimates
+   are plain floats and names are ASCII identifiers. *)
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run_timings ~smoke ~json =
   print_endline "\n== Bechamel timings (ns per run, OLS fit) ==";
   let tests = timing_tests () in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~stabilize:false ()
+    if smoke then Benchmark.cfg ~limit:10 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
   let grouped = Test.make_grouped ~name:"secure-view" ~fmt:"%s/%s" tests in
   let raw = Benchmark.all cfg instances grouped in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) results [] in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        let est =
+          match Analyze.OLS.estimates res with Some (v :: _) -> Some v | _ -> None
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
   let table = Svutil.Table.create [ "test"; "ns/run" ] in
   List.iter
-    (fun (name, res) ->
-      let est =
-        match Analyze.OLS.estimates res with
-        | Some (v :: _) -> Printf.sprintf "%.0f" v
-        | _ -> "-"
-      in
-      Svutil.Table.add_row table [ name; est ])
-    (List.sort compare rows);
-  Svutil.Table.print table
+    (fun (name, est) ->
+      let s = match est with Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+      Svutil.Table.add_row table [ name; s ])
+    rows;
+  Svutil.Table.print table;
+  Option.iter (fun path -> write_json path rows) json
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec json_path = function
+    | [] -> None
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> json_path rest
+  in
+  let json = json_path args in
+  let rec drop_json = function
+    | [] -> []
+    | "--json" :: _ :: rest -> drop_json rest
+    | a :: rest -> a :: drop_json rest
+  in
+  let args = drop_json args in
   let timings_only = List.mem "--timings" args in
   let no_timings = List.mem "--no-timings" args in
+  let smoke = List.mem "--smoke" args in
   let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
-  if not timings_only then begin
+  if (not timings_only) && not smoke then begin
     print_endline "Provenance Views for Module Privacy - experiment harness";
     print_endline "(paper-vs-measured record: EXPERIMENTS.md)";
     List.iter
       (fun (name, run) -> if selected = [] || List.mem name selected then run ())
       Experiments.all
   end;
-  if (not no_timings) && selected = [] then run_timings ()
+  if (not no_timings) && selected = [] then run_timings ~smoke ~json

@@ -3,6 +3,8 @@ module R = Rel.Relation
 module S = Rel.Schema
 module T = Rel.Tuple
 module A = Rel.Attr
+module P = Rel.Plan
+module Hset = Svutil.Hset
 module Listx = Svutil.Listx
 
 let hidden_output_multiplier m ~visible =
@@ -10,27 +12,52 @@ let hidden_output_multiplier m ~visible =
     (fun acc a -> if List.mem (A.name a) visible then acc else acc * A.dom a)
     1 m.M.outputs
 
-(* Distinct visible-output projections among rows of R that agree with
-   [input] on the visible inputs. *)
-let distinct_visible_outputs m ~visible ~input =
+let visible_plans m ~visible =
   let vis_in = Listx.inter (M.input_names m) visible in
   let vis_out = Listx.inter (M.output_names m) visible in
+  let schema = R.schema m.M.table in
+  (vis_in, P.restrict schema vis_in, P.restrict schema vis_out)
+
+(* Distinct visible-output projections among rows of R that agree with
+   [input] on the visible inputs. One compiled-plan pass over the
+   table; a row with no visible outputs projects to the empty tuple, so
+   the distinct count is 1 exactly as required. *)
+let distinct_visible_outputs m ~visible ~input =
+  let vis_in, in_plan, out_plan = visible_plans m ~visible in
   let x_vis = T.project (M.input_schema m) vis_in input in
-  let agreeing =
-    R.select m.M.table (fun sch t -> T.equal (T.project sch vis_in t) x_vis)
-  in
-  if R.is_empty agreeing then
-    invalid_arg "Standalone: input not in pi_I(R)";
-  if vis_out = [] then 1 else R.distinct_values agreeing vis_out
+  let seen = Hset.create 8 in
+  R.iter m.M.table ~f:(fun row ->
+      if T.equal (P.apply in_plan row) x_vis then
+        Hset.add seen (P.apply out_plan row));
+  if Hset.cardinal seen = 0 then invalid_arg "Standalone: input not in pi_I(R)";
+  Hset.cardinal seen
 
 let out_size m ~visible ~input =
   distinct_visible_outputs m ~visible ~input * hidden_output_multiplier m ~visible
 
+(* Group the whole table by visible-input projection in a single pass
+   instead of rescanning it per defined input: two inputs agreeing on
+   the visible attributes share a group, so the minimum over groups is
+   the minimum over defined inputs. *)
 let min_out_size m ~visible =
-  let mult = hidden_output_multiplier m ~visible in
-  List.fold_left
-    (fun acc x -> min acc (distinct_visible_outputs m ~visible ~input:x * mult))
-    max_int (M.defined_inputs m)
+  let _, in_plan, out_plan = visible_plans m ~visible in
+  let groups = Hashtbl.create 32 in
+  R.iter m.M.table ~f:(fun row ->
+      let k = P.apply in_plan row in
+      let set =
+        match Hashtbl.find_opt groups k with
+        | Some s -> s
+        | None ->
+            let s = Hset.create 4 in
+            Hashtbl.replace groups k s;
+            s
+      in
+      Hset.add set (P.apply out_plan row));
+  if Hashtbl.length groups = 0 then max_int
+  else
+    let mult = hidden_output_multiplier m ~visible in
+    Hashtbl.fold (fun _ set acc -> min acc (Hset.cardinal set * mult)) groups
+      max_int
 
 let is_safe m ~visible ~gamma = min_out_size m ~visible >= gamma
 

@@ -1,0 +1,227 @@
+module M = Wf.Wmodule
+module W = Wf.Workflow
+module R = Rel.Relation
+module S = Rel.Schema
+module T = Rel.Tuple
+
+let default_max = 2_000_000
+
+(* Iterate over all functions [0..slots-1] -> [0..choices-1] as arrays,
+   plus optionally an "absent" choice encoded as [choices] itself. *)
+let iter_assignments ~slots ~choices f =
+  let a = Array.make slots 0 in
+  let rec go i =
+    if i = slots then f a
+    else
+      for v = 0 to choices - 1 do
+        a.(i) <- v;
+        go (i + 1)
+      done
+  in
+  if slots = 0 then f a else go 0
+
+let guard name count max_worlds =
+  if count > max_worlds then
+    invalid_arg
+      (Printf.sprintf "Worlds.%s: %d candidate worlds exceed the bound %d" name count
+         max_worlds)
+
+(* Overflow-safe multiply, saturating at [max_int]. The world-count
+   guards multiply per-slot choice counts; a silent wrap there would let
+   a search astronomically past [max_worlds] slip through. *)
+let mul_sat a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let pow_int b e =
+  let rec go acc e = if e = 0 then acc else go (mul_sat acc b) (e - 1) in
+  go 1 e
+
+(* ------------------------------------------------------------------ *)
+(* Standalone worlds: partial functions Dom -> Range                   *)
+(* ------------------------------------------------------------------ *)
+
+let standalone_worlds ?(max_worlds = default_max) m ~visible =
+  let in_schema = M.input_schema m and out_schema = M.output_schema m in
+  let dom = S.all_tuples in_schema in
+  let range = Array.of_list (S.all_tuples out_schema) in
+  let n_range = Array.length range in
+  let slots = List.length dom in
+  guard "standalone_worlds" (pow_int (n_range + 1) slots) max_worlds;
+  let schema = R.schema m.M.table in
+  let view = R.project m.M.table visible in
+  let worlds = ref [] in
+  iter_assignments ~slots ~choices:(n_range + 1) (fun a ->
+      (* choice n_range means the input slot is absent from the world *)
+      let rows =
+        List.mapi (fun i x -> (i, x)) dom
+        |> List.filter_map (fun (i, x) ->
+               if a.(i) = n_range then None else Some (Array.append x range.(a.(i))))
+      in
+      let rel = R.create schema rows in
+      if R.equal (R.project rel visible) view then worlds := rel :: !worlds);
+  List.rev !worlds
+
+let count_standalone_worlds ?max_worlds m ~visible =
+  List.length (standalone_worlds ?max_worlds m ~visible)
+
+let standalone_out_set ?max_worlds m ~visible ~input =
+  let outs = M.output_names m in
+  let ins = M.input_names m in
+  let acc = ref [] in
+  List.iter
+    (fun world ->
+      let schema = R.schema world in
+      R.iter world ~f:(fun row ->
+          if T.equal (T.project_ordered schema ins row) input then begin
+            let y = T.project_ordered schema outs row in
+            if not (List.exists (T.equal y) !acc) then acc := y :: !acc
+          end))
+    (standalone_worlds ?max_worlds m ~visible);
+  List.sort T.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Workflow worlds by substituting module functions (Lemma 1 style)    *)
+(* ------------------------------------------------------------------ *)
+
+(* All total functions with the type of [m], as modules. *)
+let function_space m =
+  let in_schema = M.input_schema m and out_schema = M.output_schema m in
+  let dom = S.all_tuples in_schema in
+  let range = Array.of_list (S.all_tuples out_schema) in
+  let n_range = Array.length range in
+  let slots = List.length dom in
+  let slot_of = Hashtbl.create 16 in
+  List.iteri (fun i x -> Hashtbl.replace slot_of x i) dom;
+  let size = pow_int n_range slots in
+  let nth idx =
+    let table = Array.init slots (fun i -> range.((idx / pow_int n_range i) mod n_range)) in
+    M.of_fun ~name:m.M.name ~inputs:m.M.inputs ~outputs:m.M.outputs (fun x ->
+        table.(Hashtbl.find slot_of x))
+  in
+  (size, nth)
+
+let workflow_worlds_functions ?(max_worlds = default_max) w ~public ~visible =
+  let mods = W.modules w in
+  let spaces =
+    List.map
+      (fun (m : M.t) ->
+        if List.mem m.M.name public then (1, fun _ -> m) else function_space m)
+      mods
+  in
+  let total = List.fold_left (fun acc (n, _) -> mul_sat acc n) 1 spaces in
+  guard "workflow_worlds_functions" total max_worlds;
+  let base = W.relation w in
+  let view = R.project base visible in
+  let worlds = ref [] in
+  let rec go chosen = function
+    | [] ->
+        let w' = W.with_modules w (List.rev chosen) in
+        let rel = W.relation w' in
+        if R.equal (R.project rel visible) view then worlds := rel :: !worlds
+    | (n, nth) :: rest ->
+        for idx = 0 to n - 1 do
+          go (nth idx :: chosen) rest
+        done
+  in
+  go [] spaces;
+  (* Distinct function families can induce the same relation (functions
+     may differ on unreachable inputs); worlds are a set of relations. *)
+  List.sort_uniq
+    (fun a b -> compare (R.rows a) (R.rows b))
+    (List.rev !worlds)
+
+let workflow_out_set ?max_worlds w ~public ~visible ~module_name ~input =
+  let m =
+    match W.find_module w module_name with
+    | Some m -> m
+    | None -> invalid_arg ("Worlds.workflow_out_set: no module " ^ module_name)
+  in
+  let ins = M.input_names m and outs = M.output_names m in
+  let acc = ref [] in
+  let vacuous = ref false in
+  List.iter
+    (fun world ->
+      let schema = R.schema world in
+      let seen_input = ref false in
+      R.iter world ~f:(fun row ->
+          if T.equal (T.project_ordered schema ins row) input then begin
+            seen_input := true;
+            let y = T.project_ordered schema outs row in
+            if not (List.exists (T.equal y) !acc) then acc := y :: !acc
+          end);
+      (* Definition 5 is universally quantified: a world in which [input]
+         never occurs makes every output vacuously possible. *)
+      if not !seen_input then vacuous := true)
+    (workflow_worlds_functions ?max_worlds w ~public ~visible);
+  if !vacuous then S.all_tuples (M.output_schema m)
+  else List.sort T.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Literal workflow worlds: partial maps from initial inputs to tuples *)
+(* ------------------------------------------------------------------ *)
+
+let workflow_worlds_tuples ?(max_worlds = default_max) w ~public ~visible =
+  let schema = w.W.schema in
+  let initial = W.initial_names w in
+  let non_initial =
+    List.filter (fun n -> not (List.mem n initial)) (S.names schema)
+  in
+  let init_schema = S.restrict schema initial in
+  let rest_schema = S.restrict schema non_initial in
+  let dom = S.all_tuples init_schema in
+  let completions = Array.of_list (S.all_tuples rest_schema) in
+  let n_comp = Array.length completions in
+  let slots = List.length dom in
+  guard "workflow_worlds_tuples" (pow_int (n_comp + 1) slots) max_worlds;
+  let base = W.relation w in
+  let view = R.project base visible in
+  (* Reassemble a full tuple from an initial part and a completion,
+     respecting the schema's attribute order. *)
+  let init_names = S.names init_schema and rest_names = S.names rest_schema in
+  let assemble x c =
+    Array.of_list
+      (List.map
+         (fun n ->
+           match List.find_index (( = ) n) init_names with
+           | Some i -> x.(i)
+           | None -> (
+               match List.find_index (( = ) n) rest_names with
+               | Some i -> c.(i)
+               | None -> assert false))
+         (S.names schema))
+  in
+  let fd_ok rel =
+    List.for_all
+      (fun m ->
+        R.satisfies_fd rel ~lhs:(M.input_names m) ~rhs:(M.output_names m))
+      (W.modules w)
+  in
+  let publics_ok rel =
+    let sch = R.schema rel in
+    List.for_all
+      (fun (m : M.t) ->
+        if not (List.mem m.M.name public) then true
+        else
+          List.for_all
+            (fun row ->
+              let x = T.project_ordered sch (M.input_names m) row in
+              let y = T.project_ordered sch (M.output_names m) row in
+              match M.apply m x with
+              | Some y' -> T.equal y y'
+              | None -> false)
+            (R.rows rel))
+      (W.modules w)
+  in
+  let worlds = ref [] in
+  iter_assignments ~slots ~choices:(n_comp + 1) (fun a ->
+      let rows =
+        List.mapi (fun i x -> (i, x)) dom
+        |> List.filter_map (fun (i, x) ->
+               if a.(i) = n_comp then None else Some (assemble x completions.(a.(i))))
+      in
+      let rel = R.create schema rows in
+      if fd_ok rel && publics_ok rel && R.equal (R.project rel visible) view then
+        worlds := rel :: !worlds);
+  List.rev !worlds

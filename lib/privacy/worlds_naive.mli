@@ -1,0 +1,60 @@
+(** Generate-and-test possible-world enumeration — the differential
+    oracle.
+
+    This is the original, literal implementation of Definitions 1, 4
+    and 6: materialize every candidate relation in the
+    [(|Range|+1)^|Dom|] assignment space (resp. every total-function
+    substitution) and filter by the view. {!Worlds} implements the same
+    semantics as pruned backtracking searches; the property tests assert
+    the two agree on random instances, and the benchmark harness times
+    them against each other. Keep this module dumb and obviously
+    correct. *)
+
+val default_max : int
+
+val pow_int : int -> int -> int
+(** Overflow-checked power, saturating at [max_int] — so the
+    [max_worlds] guards cannot be defeated by silent wraparound. *)
+
+val mul_sat : int -> int -> int
+(** Overflow-checked multiply, saturating at [max_int]. *)
+
+val guard : string -> int -> int -> unit
+(** [guard name count max_worlds] raises [Invalid_argument] when [count]
+    (a saturated world count) exceeds [max_worlds]. *)
+
+val standalone_worlds :
+  ?max_worlds:int -> Wf.Wmodule.t -> visible:string list -> Rel.Relation.t list
+
+val count_standalone_worlds :
+  ?max_worlds:int -> Wf.Wmodule.t -> visible:string list -> int
+
+val standalone_out_set :
+  ?max_worlds:int ->
+  Wf.Wmodule.t ->
+  visible:string list ->
+  input:int array ->
+  int array list
+
+val workflow_worlds_functions :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  visible:string list ->
+  Rel.Relation.t list
+
+val workflow_out_set :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  visible:string list ->
+  module_name:string ->
+  input:int array ->
+  int array list
+
+val workflow_worlds_tuples :
+  ?max_worlds:int ->
+  Wf.Workflow.t ->
+  public:string list ->
+  visible:string list ->
+  Rel.Relation.t list

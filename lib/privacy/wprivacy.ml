@@ -1,7 +1,10 @@
 module M = Wf.Wmodule
 module W = Wf.Workflow
 module R = Rel.Relation
+module S = Rel.Schema
 module T = Rel.Tuple
+module P = Rel.Plan
+module Hset = Svutil.Hset
 module Listx = Svutil.Listx
 
 let module_hidden m ~hidden = Listx.inter (M.attr_names m) hidden
@@ -35,58 +38,80 @@ let theorem8_safe w ~public ~privatized ~gamma ~hidden =
 let reachable_inputs w m =
   let r = W.relation w in
   let schema = R.schema r in
-  R.rows r
-  |> List.map (T.project_ordered schema (M.input_names m))
-  |> List.sort_uniq T.compare
+  let plan = P.ordered schema (M.input_names m) in
+  R.rows r |> List.map (P.apply plan) |> List.sort_uniq T.compare
 
-(* |OUT_{x,W}| for every private module and reachable input at once,
-   enumerating worlds only once. Definition 5 is universally quantified:
-   a world omitting [x] makes every output of the module's range
-   vacuously possible, so such a world saturates the count. *)
-let out_sizes w ~public ~visible ~max_worlds =
-  let worlds = Worlds.workflow_worlds_functions ?max_worlds w ~public ~visible in
-  let privates =
-    List.filter (fun (m : M.t) -> not (List.mem m.M.name public)) (W.modules w)
-  in
-  let per_module =
-    List.map
-      (fun (m : M.t) ->
-        let range_size = Rel.Schema.domain_size (M.output_schema m) in
-        let inputs = reachable_inputs w m in
-        let state =
-          List.map (fun x -> (x, ref [], ref false (* vacuous *))) inputs
-        in
-        (m, range_size, state))
-      privates
-  in
+(* Shared state for the OUT-size computations: one (input, seen-outputs,
+   vacuous) cell per private module and reachable input. Worlds are
+   relations over the workflow schema, so the projection plans are
+   compiled once up front. Definition 5 is universally quantified: a
+   world omitting [x] makes every output of the module's range vacuously
+   possible, so such a world saturates the count. *)
+type out_state = {
+  os_name : string;
+  os_range_size : int;
+  os_in_plan : P.t;
+  os_out_plan : P.t;
+  os_cells : (T.t * T.t Hset.t * bool ref) list;
+}
+
+let out_states w ~public =
+  let schema = w.W.schema in
+  W.modules w
+  |> List.filter (fun (m : M.t) -> not (List.mem m.M.name public))
+  |> List.map (fun (m : M.t) ->
+         {
+           os_name = m.M.name;
+           os_range_size = S.domain_size (M.output_schema m);
+           os_in_plan = P.ordered schema (M.input_names m);
+           os_out_plan = P.ordered schema (M.output_names m);
+           os_cells =
+             List.map
+               (fun x -> (x, Hset.create 8, ref false))
+               (reachable_inputs w m);
+         })
+
+let record_world states world =
   List.iter
-    (fun world ->
-      let schema = R.schema world in
+    (fun st ->
+      let present = Hashtbl.create 8 in
+      R.iter world ~f:(fun row ->
+          Hashtbl.replace present
+            (P.apply st.os_in_plan row)
+            (P.apply st.os_out_plan row));
       List.iter
-        (fun ((m : M.t), _, state) ->
-          let ins = M.input_names m and outs = M.output_names m in
-          let present = Hashtbl.create 8 in
-          R.iter world ~f:(fun row ->
-              let x = T.project_ordered schema ins row in
-              let y = T.project_ordered schema outs row in
-              Hashtbl.replace present x y);
-          List.iter
-            (fun (x, seen, vacuous) ->
-              match Hashtbl.find_opt present x with
-              | Some y ->
-                  if not (List.exists (T.equal y) !seen) then seen := y :: !seen
-              | None -> vacuous := true)
-            state)
-        per_module)
-    worlds;
+        (fun (x, seen, vacuous) ->
+          match Hashtbl.find_opt present x with
+          | Some y -> Hset.add seen y
+          | None -> vacuous := true)
+        st.os_cells)
+    states
+
+let all_cells p states =
+  List.for_all (fun st -> List.for_all (p st) st.os_cells) states
+
+(* Counts only grow while worlds stream in, and a vacuous cell is pinned
+   at the range size — the maximum any cell can reach. So the exact
+   counts are determined (and enumeration can stop) as soon as every
+   cell is saturated. *)
+let saturated st (_, seen, vacuous) =
+  !vacuous || Hset.cardinal seen = st.os_range_size
+
+let out_sizes w ~public ~visible ~max_worlds =
+  let states = out_states w ~public in
+  ignore
+    (Worlds.exists_workflow_world_functions ?max_worlds w ~public ~visible
+       ~f:(fun world ->
+         record_world states world;
+         all_cells saturated states));
   List.map
-    (fun ((m : M.t), range_size, state) ->
-      ( m.M.name,
+    (fun st ->
+      ( st.os_name,
         List.map
           (fun (x, seen, vacuous) ->
-            (x, if !vacuous then range_size else List.length !seen))
-          state ))
-    per_module
+            (x, if !vacuous then st.os_range_size else Hset.cardinal seen))
+          st.os_cells ))
+    states
 
 let min_out_size_brute ?max_worlds w ~public ~visible ~module_name =
   (match W.find_module w module_name with
@@ -97,5 +122,21 @@ let min_out_size_brute ?max_worlds w ~public ~visible ~module_name =
   | Some sizes -> List.fold_left (fun acc (_, n) -> min acc n) max_int sizes
 
 let is_safe_brute ?max_worlds w ~public ~gamma ~visible =
-  out_sizes w ~public ~visible ~max_worlds
-  |> List.for_all (fun (_, sizes) -> List.for_all (fun (_, n) -> n >= gamma) sizes)
+  let states = out_states w ~public in
+  (* A cell's final count never exceeds the module's range size, so a
+     range smaller than gamma refutes safety before any enumeration. *)
+  if not (all_cells (fun st _ -> st.os_range_size >= gamma) states) then false
+  else begin
+    (* Once a cell has gamma distinct outputs (or is vacuous, hence
+       pinned at range >= gamma) it stays safe; stop at the first world
+       that makes every cell so. *)
+    let proven _st (_, seen, vacuous) =
+      !vacuous || Hset.cardinal seen >= gamma
+    in
+    ignore
+      (Worlds.exists_workflow_world_functions ?max_worlds w ~public ~visible
+         ~f:(fun world ->
+           record_world states world;
+           all_cells proven states));
+    all_cells proven states
+  end

@@ -1,0 +1,15 @@
+type t = int array
+
+let ordered schema names =
+  Array.of_list (List.map (Schema.index_of schema) names)
+
+let restrict schema names =
+  (* Every requested name must exist, even ones absent from the kept set. *)
+  List.iter (fun n -> ignore (Schema.index_of schema n)) names;
+  Schema.names schema
+  |> List.filter (fun n -> List.mem n names)
+  |> List.map (Schema.index_of schema)
+  |> Array.of_list
+
+let arity = Array.length
+let apply p row = Array.map (fun i -> row.(i)) p

@@ -1,0 +1,28 @@
+(** Compiled projection plans.
+
+    [Tuple.project]'s per-call cost is O(width * |schema|) string
+    compares because every attribute name is resolved with a linear
+    [Schema.index_of] scan. A plan resolves the names once into an int
+    index array; applying it is O(width) array reads. Every relational
+    operator and enumeration inner loop that projects the same
+    (schema, names) pair across many rows should compile a plan outside
+    the loop and [apply] it per row. *)
+
+type t
+
+val restrict : Schema.t -> string list -> t
+(** Plan projecting onto the named attributes in {e schema} order —
+    the layout of [Schema.restrict schema names] and [Tuple.project].
+    @raise Not_found if a name is absent from the schema. *)
+
+val ordered : Schema.t -> string list -> t
+(** Plan projecting onto the named attributes in the order of the name
+    list itself — the layout of [Tuple.project_ordered].
+    @raise Not_found if a name is absent from the schema. *)
+
+val arity : t -> int
+(** Width of the projected tuples. *)
+
+val apply : t -> int array -> int array
+(** [apply p row] reads the planned positions out of [row]. The row must
+    be laid out for the schema the plan was compiled against. *)

@@ -1,4 +1,11 @@
-type t = { schema : Schema.t; rows : Tuple.t list }
+type t = {
+  schema : Schema.t;
+  rows : Tuple.t list;
+  index : Tuple.t Svutil.Hset.t Lazy.t;  (** hashed row set, built on first [mem] *)
+}
+
+let make schema rows =
+  { schema; rows; index = lazy (Svutil.Hset.of_list rows) }
 
 let create schema rows =
   List.iter
@@ -7,23 +14,23 @@ let create schema rows =
         invalid_arg
           (Printf.sprintf "Relation.create: malformed row %s" (Tuple.to_string r)))
     rows;
-  { schema; rows = List.sort_uniq Tuple.compare rows }
+  make schema (List.sort_uniq Tuple.compare rows)
 
 let schema t = t.schema
 let rows t = t.rows
 let size t = List.length t.rows
 let is_empty t = t.rows = []
-let mem t row = List.exists (Tuple.equal row) t.rows
+let mem t row = Svutil.Hset.mem (Lazy.force t.index) row
 let equal a b = Schema.equal a.schema b.schema && a.rows = b.rows
 
 let full schema = create schema (Schema.all_tuples schema)
 
 let project t names =
   let sub = Schema.restrict t.schema names in
-  let keep = Schema.names sub in
-  create sub (List.map (Tuple.project t.schema keep) t.rows)
+  let plan = Plan.restrict t.schema names in
+  create sub (List.map (Plan.apply plan) t.rows)
 
-let select t pred = { t with rows = List.filter (pred t.schema) t.rows }
+let select t pred = make t.schema (List.filter (pred t.schema) t.rows)
 
 let reorder t names =
   if List.sort compare names <> List.sort compare (Schema.names t.schema) then
@@ -48,31 +55,33 @@ let join a b =
       (Schema.attrs a.schema
       @ List.filter (fun at -> List.mem (Attr.name at) only_b) (Schema.attrs b.schema))
   in
-  (* Index the right side by its common-attribute projection. *)
+  (* Index the right side by its common-attribute projection. Ordered
+     plans keep the two sides' keys aligned even if their schemas order
+     the shared attributes differently. *)
+  let common_b = Plan.ordered b.schema common in
+  let common_a = Plan.ordered a.schema common in
+  let extra_b = Plan.restrict b.schema only_b in
   let tbl = Hashtbl.create 64 in
   List.iter
-    (fun rb ->
-      let key = Tuple.project b.schema common rb in
-      Hashtbl.add tbl key rb)
+    (fun rb -> Hashtbl.add tbl (Plan.apply common_b rb) rb)
     b.rows;
   let out_rows =
     List.concat_map
       (fun ra ->
-        let key = Tuple.project a.schema common ra in
-        Hashtbl.find_all tbl key
-        |> List.map (fun rb ->
-               let extra = Tuple.project b.schema only_b rb in
-               Array.append ra extra))
+        Hashtbl.find_all tbl (Plan.apply common_a ra)
+        |> List.map (fun rb -> Array.append ra (Plan.apply extra_b rb)))
       a.rows
   in
   create out_schema out_rows
 
 let satisfies_fd t ~lhs ~rhs =
+  let lhs_plan = Plan.restrict t.schema lhs in
+  let rhs_plan = Plan.restrict t.schema rhs in
   let tbl = Hashtbl.create 64 in
   List.for_all
     (fun row ->
-      let key = Tuple.project t.schema lhs row in
-      let v = Tuple.project t.schema rhs row in
+      let key = Plan.apply lhs_plan row in
+      let v = Plan.apply rhs_plan row in
       match Hashtbl.find_opt tbl key with
       | Some v' -> Tuple.equal v v'
       | None ->

@@ -15,6 +15,9 @@ val schema : t -> Schema.t
 val rows : t -> Tuple.t list
 val size : t -> int
 val is_empty : t -> bool
+
+(** O(1) amortized: rows are indexed in a hashed set built lazily on the
+    first membership query. *)
 val mem : t -> Tuple.t -> bool
 val equal : t -> t -> bool
 

@@ -2,14 +2,8 @@ type t = int array
 
 let value schema t name = t.(Schema.index_of schema name)
 
-let project schema names t =
-  let keep = List.filter (fun n -> List.mem n names) (Schema.names schema) in
-  (* Ensure every requested name exists. *)
-  List.iter (fun n -> ignore (Schema.index_of schema n)) names;
-  Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) keep)
-
-let project_ordered schema names t =
-  Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) names)
+let project schema names t = Plan.apply (Plan.restrict schema names) t
+let project_ordered schema names t = Plan.apply (Plan.ordered schema names) t
 
 let validate schema t =
   Array.length t = Schema.size schema

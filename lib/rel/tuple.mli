@@ -7,12 +7,15 @@ val value : Schema.t -> t -> string -> int
 
 val project : Schema.t -> string list -> t -> t
 (** Values of the named attributes, laid out for
-    [Schema.restrict schema names] (schema order). *)
+    [Schema.restrict schema names] (schema order). Compiles a fresh
+    {!Plan} per call; loops projecting many rows should compile the plan
+    once with [Plan.restrict] and use [Plan.apply]. *)
 
 val project_ordered : Schema.t -> string list -> t -> t
 (** Values of the named attributes in the order of the name list itself
     — for comparing projections taken from schemas that order the same
-    attributes differently. *)
+    attributes differently. Per-row loops should prefer [Plan.ordered]
+    + [Plan.apply]. *)
 
 val validate : Schema.t -> t -> bool
 (** Arity matches and every value is within its attribute's domain. *)

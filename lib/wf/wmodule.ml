@@ -42,11 +42,14 @@ let output_schema t = S.of_list t.outputs
 
 let apply t x =
   let schema = R.schema t.table in
-  let ins = input_names t and outs = output_names t in
+  let in_plan = Rel.Plan.restrict schema (input_names t) in
+  let out_plan = Rel.Plan.restrict schema (output_names t) in
   let found =
-    List.find_opt (fun row -> T.equal (T.project schema ins row) x) (R.rows t.table)
+    List.find_opt
+      (fun row -> T.equal (Rel.Plan.apply in_plan row) x)
+      (R.rows t.table)
   in
-  Option.map (T.project schema outs) found
+  Option.map (Rel.Plan.apply out_plan) found
 
 let defined_inputs t = R.rows (R.project t.table (input_names t))
 

@@ -144,24 +144,53 @@ let intermediate_names t =
 let data_sharing_degree t =
   Svutil.Listx.max_by (fun a -> List.length (consumers t a)) (attr_names t)
 
-let run t x =
-  let values = Hashtbl.create 16 in
-  List.iteri
-    (fun i a -> Hashtbl.replace values (A.name a) x.(i))
-    t.initial;
-  let ok =
-    Array.for_all
-      (fun m ->
-        let input = Array.of_list (List.map (Hashtbl.find values) (Wmodule.input_names m)) in
-        match Wmodule.apply m input with
-        | None -> false
-        | Some out ->
-            List.iteri (fun i o -> Hashtbl.replace values o out.(i)) (Wmodule.output_names m);
-            true)
+let runner t =
+  (* Compile every per-name lookup once: schema positions for all
+     attributes, per-module input/output positions, and a hash index of
+     each module table. The returned closure runs one initial input in
+     O(total module arity) array/hash operations. *)
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace pos n i) (S.names t.schema);
+  let width = S.size t.schema in
+  let init_pos =
+    Array.of_list (List.map (fun a -> Hashtbl.find pos (A.name a)) t.initial)
+  in
+  let compiled =
+    Array.map
+      (fun (m : Wmodule.t) ->
+        let in_pos =
+          Array.of_list (List.map (Hashtbl.find pos) (Wmodule.input_names m))
+        in
+        let out_pos =
+          Array.of_list (List.map (Hashtbl.find pos) (Wmodule.output_names m))
+        in
+        let schema = R.schema m.Wmodule.table in
+        let in_plan = Rel.Plan.restrict schema (Wmodule.input_names m) in
+        let out_plan = Rel.Plan.restrict schema (Wmodule.output_names m) in
+        let table = Hashtbl.create (R.size m.Wmodule.table) in
+        R.iter m.Wmodule.table ~f:(fun row ->
+            Hashtbl.replace table (Rel.Plan.apply in_plan row)
+              (Rel.Plan.apply out_plan row));
+        (in_pos, out_pos, table))
       t.modules
   in
-  if not ok then None
-  else Some (Array.of_list (List.map (Hashtbl.find values) (S.names t.schema)))
+  fun x ->
+    let values = Array.make width (-1) in
+    Array.iteri (fun i p -> values.(p) <- x.(i)) init_pos;
+    let ok =
+      Array.for_all
+        (fun (in_pos, out_pos, table) ->
+          let input = Array.map (fun p -> values.(p)) in_pos in
+          match Hashtbl.find_opt table input with
+          | None -> false
+          | Some out ->
+              Array.iteri (fun i p -> values.(p) <- out.(i)) out_pos;
+              true)
+        compiled
+    in
+    if ok then Some values else None
+
+let run t x = runner t x
 
 let relation ?initial_tuples t =
   let inputs =
@@ -169,7 +198,8 @@ let relation ?initial_tuples t =
     | Some l -> l
     | None -> S.all_tuples (S.of_list t.initial)
   in
-  R.create t.schema (List.filter_map (run t) inputs)
+  let run_one = runner t in
+  R.create t.schema (List.filter_map run_one inputs)
 
 let with_modules t mods =
   let compatible (a : Wmodule.t) (b : Wmodule.t) =

@@ -44,6 +44,12 @@ val run : t -> int array -> int array option
 (** Execute on an assignment of the initial attributes (in [initial]
     order); [None] if some module is undefined on its input. *)
 
+val runner : t -> int array -> int array option
+(** Compiled form of {!run}: resolves every attribute-name lookup and
+    hash-indexes the module tables once, returning a closure that
+    executes one initial assignment in O(total arity). Use it when
+    running many inputs (the possible-world enumerators do). *)
+
 val relation : ?initial_tuples:int array list -> t -> Rel.Relation.t
 (** The provenance relation [R]. By default every assignment of the
     initial attributes is executed; executions on which some partial

@@ -6,6 +6,7 @@ module W = Wf.Workflow
 module L = Wf.Library
 module St = Privacy.Standalone
 module Wo = Privacy.Worlds
+module Wn = Privacy.Worlds_naive
 module Wp = Privacy.Wprivacy
 
 let m1 = L.fig1_m1
@@ -468,6 +469,138 @@ let props =
               Wp.is_safe_brute w ~public:still_public ~gamma:2 ~visible);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Pruned search vs. the generate-and-test oracle                      *)
+(* ------------------------------------------------------------------ *)
+
+let rel_list_equal a b =
+  List.length a = List.length b && List.for_all2 R.equal a b
+
+let tuple_list_equal a b =
+  List.length a = List.length b && List.for_all2 Rel.Tuple.equal a b
+
+(* Both enumerators must agree on results AND on rejecting oversized
+   instances through the max_worlds guard. *)
+let agree eq f g =
+  let run h = match h () with v -> Ok v | exception Invalid_argument _ -> Error () in
+  match (run f, run g) with
+  | Ok a, Ok b -> eq a b
+  | Error (), Error () -> true
+  | _ -> false
+
+let gen_workflow_case ?(max_inputs = 2) () =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let rng = Svutil.Rng.create seed in
+    let w =
+      Wf.Gen.random_workflow rng
+        { Wf.Gen.default with n_modules = 2; max_inputs; max_outputs = 1 }
+    in
+    let attrs = W.attr_names w in
+    let* mask = int_range 0 ((1 lsl List.length attrs) - 1) in
+    let visible = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) attrs in
+    let* pub_mask = int_range 0 3 in
+    let public =
+      List.filteri (fun i _ -> pub_mask land (1 lsl i) <> 0) (W.module_names w)
+    in
+    return (w, public, visible))
+
+let workflow_reachable_inputs w (m : M.t) =
+  let r = W.relation w in
+  let schema = R.schema r in
+  R.rows r
+  |> List.map (Rel.Tuple.project_ordered schema (M.input_names m))
+  |> List.sort_uniq Rel.Tuple.compare
+
+let diff_props =
+  [
+    prop ~count:60 "standalone worlds match the naive oracle" gen_module_and_visible
+      (fun (m, visible) ->
+        rel_list_equal (Wo.standalone_worlds m ~visible) (Wn.standalone_worlds m ~visible));
+    prop ~count:60 "standalone counts and OUT sets match the naive oracle"
+      gen_module_and_visible (fun (m, visible) ->
+        Wo.count_standalone_worlds m ~visible = Wn.count_standalone_worlds m ~visible
+        && List.for_all
+             (fun x ->
+               tuple_list_equal
+                 (Wo.standalone_out_set m ~visible ~input:x)
+                 (Wn.standalone_out_set m ~visible ~input:x))
+             (M.defined_inputs m));
+    prop ~count:25 "workflow function worlds match the naive oracle"
+      (gen_workflow_case ()) (fun (w, public, visible) ->
+        agree rel_list_equal
+          (fun () -> Wo.workflow_worlds_functions w ~public ~visible)
+          (fun () -> Wn.workflow_worlds_functions w ~public ~visible));
+    prop ~count:25 "workflow tuple worlds match the naive oracle"
+      (gen_workflow_case ~max_inputs:1 ()) (fun (w, public, visible) ->
+        agree rel_list_equal
+          (fun () -> Wo.workflow_worlds_tuples w ~public ~visible)
+          (fun () -> Wn.workflow_worlds_tuples w ~public ~visible));
+    prop ~count:25 "workflow OUT sets match the naive oracle" (gen_workflow_case ())
+      (fun (w, public, visible) ->
+        List.for_all
+          (fun (m : M.t) ->
+            List.mem m.M.name public
+            || List.for_all
+                 (fun input ->
+                   agree tuple_list_equal
+                     (fun () ->
+                       Wo.workflow_out_set w ~public ~visible ~module_name:m.M.name
+                         ~input)
+                     (fun () ->
+                       Wn.workflow_out_set w ~public ~visible ~module_name:m.M.name
+                         ~input))
+                 (workflow_reachable_inputs w m))
+          (W.modules w));
+  ]
+
+let test_overflow_guard () =
+  (* 5^64 wraps to 1 with unchecked 63-bit multiplication, which would
+     let the world-count guard wave an astronomically large search
+     through; the saturating power must pin it at max_int instead. *)
+  Alcotest.(check int) "pow saturates" max_int (Wn.pow_int 5 64);
+  Alcotest.(check int) "mul saturates" max_int (Wn.mul_sat max_int 2);
+  Alcotest.(check int) "mul by zero" 0 (Wn.mul_sat max_int 0);
+  Alcotest.(check int) "pow exact below overflow" 1024 (Wn.pow_int 2 10);
+  Alcotest.(check int) "pow of zero exponent" 1 (Wn.pow_int 5 0);
+  let rng = Svutil.Rng.create 99 in
+  let m =
+    Wf.Gen.random_module rng ~name:"big"
+      ~inputs:[ A.make "x" ~dom:16; A.make "y" ~dom:16 ]
+      ~outputs:[ A.boolean "z" ]
+  in
+  (* 3^256 candidate worlds: the guard must trip promptly in both
+     enumerators rather than hang or silently run. *)
+  let trips f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "pruned guard trips" true
+    (trips (fun () -> Wo.standalone_worlds m ~visible:[ "x" ]));
+  Alcotest.(check bool) "pruned count guard trips" true
+    (trips (fun () -> Wo.count_standalone_worlds m ~visible:[ "x" ]));
+  Alcotest.(check bool) "naive guard trips" true
+    (trips (fun () -> Wn.standalone_worlds m ~visible:[ "x" ]))
+
+let test_partial_public_fallback () =
+  (* A partial public module breaks the one-row-per-initial-input shape
+     the pruned function-family search relies on; it must fall back to
+     the oracle and still agree with it. *)
+  let m_pub =
+    M.of_partial_fun ~name:"p" ~inputs:(A.booleans [ "x" ])
+      ~outputs:(A.booleans [ "u" ])
+      ~defined_on:[ [| 0 |] ]
+      (fun x -> x)
+  in
+  let m_priv = L.identity ~name:"q" ~inputs:[ "u" ] ~outputs:[ "v" ] in
+  let w = W.create_exn [ m_pub; m_priv ] in
+  List.iter
+    (fun visible ->
+      Alcotest.(check bool)
+        ("worlds agree on {" ^ String.concat "," visible ^ "}")
+        true
+        (rel_list_equal
+           (Wo.workflow_worlds_functions w ~public:[ "p" ] ~visible)
+           (Wn.workflow_worlds_functions w ~public:[ "p" ] ~visible)))
+    [ [ "x" ]; [ "x"; "v" ]; [ "x"; "u"; "v" ]; [] ]
+
 let () =
   Alcotest.run "privacy"
     [
@@ -502,4 +635,9 @@ let () =
           Alcotest.test_case "definition 4 tuple worlds" `Quick test_workflow_worlds_tuples_definition4;
         ] );
       ("properties", props);
+      ( "pruned vs naive (differential)",
+        Alcotest.test_case "overflow-sound world-count guard" `Quick test_overflow_guard
+        :: Alcotest.test_case "partial public falls back to oracle" `Quick
+             test_partial_public_fallback
+        :: diff_props );
     ]
