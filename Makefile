@@ -1,4 +1,8 @@
-.PHONY: build test bench bench-smoke bench-json clean
+.PHONY: build test bench bench-smoke bench-json lint-examples clean
+
+# Output path for bench-json; override to record a new baseline, e.g.
+#   make bench-json OUT=BENCH_PR2.json
+OUT ?= BENCH.json
 
 build:
 	dune build
@@ -16,7 +20,26 @@ bench-smoke:
 
 # Full timing run, recorded as a flat JSON baseline.
 bench-json:
-	dune exec bench/main.exe -- --timings --json BENCH_PR1.json
+	dune exec bench/main.exe -- --timings --json $(OUT)
+
+# Wfcheck over the example corpus: shipped specs must lint clean, and
+# every fixture under examples/bad/ must report the W0xx code its file
+# name announces, in both text and JSON output.
+lint-examples:
+	dune build bin/secure_view_cli.exe
+	@for f in examples/*.swf; do \
+	  ./_build/default/bin/secure_view_cli.exe lint $$f || exit 1; \
+	done
+	@for f in examples/bad/*.swf; do \
+	  code=$$(basename $$f | cut -d_ -f1 | tr a-z A-Z); \
+	  out=$$(./_build/default/bin/secure_view_cli.exe lint $$f; :); \
+	  echo "$$out" | grep -q "$$code" \
+	    || { echo "FAIL: $$f did not report $$code (text)"; echo "$$out"; exit 1; }; \
+	  json=$$(./_build/default/bin/secure_view_cli.exe lint $$f --json; :); \
+	  echo "$$json" | grep -q "\"code\":\"$$code\"" \
+	    || { echo "FAIL: $$f did not report $$code (json)"; echo "$$json"; exit 1; }; \
+	  echo "ok: $$f -> $$code"; \
+	done
 
 clean:
 	dune clean

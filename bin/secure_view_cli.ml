@@ -1,6 +1,7 @@
 (* Command-line interface to the Secure-View library.
 
    secure_view_cli show FILE            print the workflow and its relation
+   secure_view_cli lint FILE            static diagnostics (Wfcheck)
    secure_view_cli analyze FILE MODULE  standalone privacy analysis
    secure_view_cli solve FILE           solve the workflow Secure-View problem
    secure_view_cli check FILE --hide... validate a proposed view
@@ -8,13 +9,29 @@
    FILE uses the format documented in Wf.Parse. *)
 
 open Cmdliner
+module Wfcheck = Analysis.Wfcheck
 
-let load path =
+(* [analyze]/[solve]/[check] pre-flight the spec so infeasible or
+   malformed inputs fail fast with a coded diagnostic instead of dying
+   somewhere inside the exponential searches. *)
+let load ?(preflight = false) path =
   match Wf.Parse.parse_file path with
-  | Ok spec -> spec
   | Error e ->
       Printf.eprintf "error: %s\n" e;
       exit 1
+  | Ok spec ->
+      if preflight then begin
+        match Wfcheck.errors (Wfcheck.check_spec spec) with
+        | [] -> ()
+        | errs ->
+            prerr_endline (Wfcheck.to_text ~file:path errs);
+            Printf.eprintf "error: %s fails %d static check%s (secure_view_cli lint %s)\n"
+              path (List.length errs)
+              (if List.length errs = 1 then "" else "s")
+              path;
+            exit 1
+      end;
+      spec
 
 let gamma_of (spec : Wf.Parse.spec) name =
   Option.value ~default:spec.Wf.Parse.gamma
@@ -39,6 +56,62 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc:"Print the workflow structure and its provenance relation.")
     Term.(const run $ file_arg)
 
+(* lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings too, not just errors.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ] ~doc:"Print the diagnostic code reference and exit.")
+  in
+  let file_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Workflow description file.")
+  in
+  let run file json strict codes =
+    if codes then begin
+      List.iter
+        (fun (code, sev, meaning, hint) ->
+          Printf.printf "%s  %-7s  %s\n           fix: %s\n" code
+            (Wfcheck.severity_to_string sev) meaning hint)
+        Wfcheck.code_reference;
+      exit 0
+    end;
+    let file =
+      match file with
+      | Some f -> f
+      | None ->
+          prerr_endline "error: lint needs a FILE (or --codes)";
+          exit 2
+    in
+    match Wf.Parse.parse_raw_file file with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+    | Ok raw ->
+        let ds = Wfcheck.check_raw raw in
+        if json then print_endline (Wfcheck.to_json ds)
+        else if ds = [] then Printf.printf "%s: no diagnostics\n" file
+        else print_endline (Wfcheck.to_text ~file ds);
+        let failing =
+          List.exists
+            (fun (d : Wfcheck.diagnostic) ->
+              match d.Wfcheck.severity with
+              | Wfcheck.Error -> true
+              | Wfcheck.Warning -> strict
+              | Wfcheck.Info -> false)
+            ds
+        in
+        exit (if failing then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the Wfcheck static diagnostics over a workflow spec.")
+    Term.(const run $ file_opt $ json_arg $ strict_arg $ codes_arg)
+
 (* analyze -------------------------------------------------------------- *)
 
 let analyze_cmd =
@@ -46,7 +119,7 @@ let analyze_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"MODULE" ~doc:"Module to analyze.")
   in
   let run file name =
-    let spec = load file in
+    let spec = load ~preflight:true file in
     match Wf.Workflow.find_module spec.Wf.Parse.workflow name with
     | None ->
         Printf.eprintf "error: no module %s\n" name;
@@ -90,7 +163,7 @@ let emit_view_arg =
 
 let solve_cmd =
   let run file meth emit_view =
-    let spec = load file in
+    let spec = load ~preflight:true file in
     let inst = instance_of spec in
     let print_sol label s = Format.printf "%-8s %a@." label Core.Solution.pp s in
     let greedy () = print_sol "greedy" (Core.Greedy.solve inst) in
@@ -153,7 +226,7 @@ let check_cmd =
            ~doc:"Comma-separated public modules to privatize.")
   in
   let run file hidden privatized =
-    let spec = load file in
+    let spec = load ~preflight:true file in
     let w = spec.Wf.Parse.workflow in
     let public = List.map fst spec.Wf.Parse.publics in
     let ok =
@@ -228,4 +301,4 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "secure_view_cli" ~doc)
-          [ show_cmd; analyze_cmd; solve_cmd; check_cmd; tradeoff_cmd ]))
+          [ show_cmd; lint_cmd; analyze_cmd; solve_cmd; check_cmd; tradeoff_cmd ]))

@@ -59,6 +59,13 @@ let min_out_size m ~visible =
     Hashtbl.fold (fun _ set acc -> min acc (Hset.cardinal set * mult)) groups
       max_int
 
+(* Hiding every attribute gives d(x) = 1 and the full hidden-output
+   multiplier, so by the monotonicity of Proposition 1 no view can do
+   better than the product of the output domains. Saturating, so huge
+   domains cannot wrap around the comparison. *)
+let max_achievable_gamma m =
+  List.fold_left (fun acc a -> Worlds_naive.mul_sat acc (A.dom a)) 1 m.M.outputs
+
 let is_safe m ~visible ~gamma = min_out_size m ~visible >= gamma
 
 let is_hidden_safe m ~hidden ~gamma =

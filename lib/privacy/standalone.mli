@@ -27,6 +27,14 @@ val min_out_size : Wf.Wmodule.t -> visible:string list -> int
 (** Minimum of {!out_size} over all defined inputs — the privacy level
     that the view guarantees. *)
 
+val max_achievable_gamma : Wf.Wmodule.t -> int
+(** The largest standalone privacy level any view can guarantee for the
+    module: [prod_{a in O} |Delta_a|], attained by hiding everything
+    (and an upper bound for every other view by Proposition 1's
+    monotonicity). O(|O|), no enumeration — the static feasibility
+    pre-check of {!Analysis.Wfcheck} relies on it being cheap.
+    Saturates at [max_int]. *)
+
 val is_safe : Wf.Wmodule.t -> visible:string list -> gamma:int -> bool
 (** Is [V] a safe subset for [m] and [Gamma]? (Definition 2.) *)
 

@@ -2,21 +2,49 @@ module A = Rel.Attr
 module S = Rel.Schema
 module R = Rel.Relation
 
+(* ------------------------------------------------------------------ *)
+(* Raw declarations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type raw_attr = { a_name : string; a_dom : int; a_cost : Rat.t; a_line : int }
+type raw_row = { r_line : int; r_ins : int array; r_outs : int array }
+
+type raw_module = {
+  m_line : int;
+  m_name : string;
+  m_public : Rat.t option;
+  m_inputs : string list;
+  m_outputs : string list;
+  m_rows : raw_row list;
+  m_fn : (string list * int) option;
+}
+
+type raw_gamma = { g_line : int; g_module : string option; g_value : int }
+
+type raw = {
+  r_attrs : raw_attr list;
+  r_modules : raw_module list;
+  r_gammas : raw_gamma list;
+}
+
 type spec = {
   workflow : Workflow.t;
   costs : (string * Rat.t) list;
   publics : (string * Rat.t) list;
   gamma : int;
   gamma_overrides : (string * int) list;
+  raw : raw;
 }
 
-type mod_decl = {
-  md_name : string;
-  md_public : Rat.t option;  (** privatization cost when public *)
-  md_inputs : string list;
-  md_outputs : string list;
-  mutable md_rows : (int array * int array) list;
-  mutable md_fn : string list option;
+(* Mutable builder used only while scanning lines. *)
+type mod_builder = {
+  b_line : int;
+  b_name : string;
+  b_public : Rat.t option;
+  b_inputs : string list;
+  b_outputs : string list;
+  mutable b_rows : raw_row list;  (** reverse order *)
+  mutable b_fn : (string list * int) option;
 }
 
 exception Parse_error of int * string
@@ -52,25 +80,32 @@ let rat_of lineno s =
   | v -> v
   | exception _ -> fail lineno "expected a rational, got %s" s
 
-let parse_string text =
-  let attrs : (string, int * Rat.t) Hashtbl.t = Hashtbl.create 16 in
-  let attr_order = ref [] in
-  let mods : (string, mod_decl) Hashtbl.t = Hashtbl.create 16 in
-  let mod_order = ref [] in
-  let gamma = ref 2 in
-  let overrides = ref [] in
+(* ------------------------------------------------------------------ *)
+(* Raw parsing: syntax only                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Fails only on token-level problems (unknown directives, malformed
+   numbers, missing keywords, rows for a module that was never
+   declared). Semantic issues — duplicate declarations, undeclared
+   attributes, arity mismatches, wiring problems — are representable in
+   the result so that {!Analysis.Wfcheck} can diagnose them; they are
+   re-validated by {!spec_of_raw}. *)
+let parse_raw_string text =
+  let attrs = ref [] and mods = ref [] and gammas = ref [] in
+  (* Rows and fn attach to the most recent declaration of the name. *)
   let find_mod lineno name =
-    match Hashtbl.find_opt mods name with
-    | Some d -> d
+    match List.find_opt (fun b -> b.b_name = name) !mods with
+    | Some b -> b
     | None -> fail lineno "unknown module %s" name
   in
   let handle lineno toks =
     match toks with
     | [] -> ()
-    | [ "gamma"; g ] -> gamma := int_of lineno g
-    | [ "gamma"; m; g ] -> overrides := (m, int_of lineno g) :: !overrides
+    | [ "gamma"; g ] ->
+        gammas := { g_line = lineno; g_module = None; g_value = int_of lineno g } :: !gammas
+    | [ "gamma"; m; g ] ->
+        gammas := { g_line = lineno; g_module = Some m; g_value = int_of lineno g } :: !gammas
     | "attr" :: name :: rest ->
-        if Hashtbl.mem attrs name then fail lineno "duplicate attribute %s" name;
         let rec opts dom cost = function
           | [] -> (dom, cost)
           | "dom" :: d :: rest -> opts (int_of lineno d) cost rest
@@ -78,11 +113,9 @@ let parse_string text =
           | t :: _ -> fail lineno "unexpected token %s" t
         in
         let dom, cost = opts 2 Rat.one rest in
-        Hashtbl.replace attrs name (dom, cost);
-        attr_order := name :: !attr_order
+        attrs := { a_name = name; a_dom = dom; a_cost = cost; a_line = lineno } :: !attrs
     | "module" :: name :: rest ->
-        if Hashtbl.mem mods name then fail lineno "duplicate module %s" name;
-        let md_public, rest =
+        let public, rest =
           match rest with
           | "private" :: rest -> (None, rest)
           | "public" :: "cost" :: c :: rest -> (Some (rat_of lineno c), rest)
@@ -96,97 +129,148 @@ let parse_string text =
           | _ -> fail lineno "expected inputs ... outputs ..."
         in
         if inputs = [] || outputs = [] then fail lineno "module needs inputs and outputs";
-        List.iter
-          (fun a -> if not (Hashtbl.mem attrs a) then fail lineno "undeclared attribute %s" a)
-          (inputs @ outputs);
-        Hashtbl.replace mods name
-          { md_name = name; md_public; md_inputs = inputs; md_outputs = outputs;
-            md_rows = []; md_fn = None };
-        mod_order := name :: !mod_order
+        mods :=
+          { b_line = lineno; b_name = name; b_public = public; b_inputs = inputs;
+            b_outputs = outputs; b_rows = []; b_fn = None }
+          :: !mods
     | "row" :: name :: rest ->
-        let d = find_mod lineno name in
+        let b = find_mod lineno name in
         let before, after = split_at "->" lineno rest in
         let ins = Array.of_list (List.map (int_of lineno) before) in
         let outs = Array.of_list (List.map (int_of lineno) after) in
-        if Array.length ins <> List.length d.md_inputs then
-          fail lineno "row arity mismatch for inputs of %s" name;
-        if Array.length outs <> List.length d.md_outputs then
-          fail lineno "row arity mismatch for outputs of %s" name;
-        d.md_rows <- d.md_rows @ [ (ins, outs) ]
+        b.b_rows <- { r_line = lineno; r_ins = ins; r_outs = outs } :: b.b_rows
     | "fn" :: name :: spec ->
-        let d = find_mod lineno name in
+        let b = find_mod lineno name in
         if spec = [] then fail lineno "fn needs a builtin name";
-        d.md_fn <- Some spec
+        b.b_fn <- Some (spec, lineno)
     | t :: _ -> fail lineno "unknown directive %s" t
-  in
-  let build_module (d : mod_decl) =
-    let attr name =
-      let dom, _ = Hashtbl.find attrs name in
-      A.make name ~dom
-    in
-    let inputs = List.map attr d.md_inputs and outputs = List.map attr d.md_outputs in
-    let booleans_only () =
-      if List.exists (fun a -> A.dom a <> 2) (inputs @ outputs) then
-        failwith (Printf.sprintf "module %s: builtins need boolean attributes" d.md_name)
-    in
-    match (d.md_fn, d.md_rows) with
-    | Some _, _ :: _ ->
-        failwith (Printf.sprintf "module %s has both fn and rows" d.md_name)
-    | Some spec, [] -> (
-        booleans_only ();
-        let ins = d.md_inputs and outs = d.md_outputs in
-        match spec with
-        | [ "identity" ] -> Library.identity ~name:d.md_name ~inputs:ins ~outputs:outs
-        | [ "negate" ] -> Library.negate_all ~name:d.md_name ~inputs:ins ~outputs:outs
-        | "constant" :: vals ->
-            Library.constant ~name:d.md_name ~inputs:ins ~outputs:outs
-              (Array.of_list (List.map int_of_string vals))
-        | [ "majority" ] | [ "and" ] | [ "or" ] | [ "xor" ] -> (
-            match (outs, List.hd spec) with
-            | [ o ], "majority" -> Library.majority ~name:d.md_name ~inputs:ins ~output:o
-            | [ o ], "and" -> Library.and_gate ~name:d.md_name ~inputs:ins ~output:o
-            | [ o ], "or" -> Library.or_gate ~name:d.md_name ~inputs:ins ~output:o
-            | [ o ], "xor" -> Library.xor_gate ~name:d.md_name ~inputs:ins ~output:o
-            | _ -> failwith (Printf.sprintf "module %s: gate builtins need one output" d.md_name))
-        | s :: _ -> failwith (Printf.sprintf "module %s: unknown builtin %s" d.md_name s)
-        | [] -> assert false)
-    | None, [] -> failwith (Printf.sprintf "module %s has no functionality" d.md_name)
-    | None, rows ->
-        let schema = S.of_list (inputs @ outputs) in
-        let table =
-          R.create schema (List.map (fun (i, o) -> Array.append i o) rows)
-        in
-        Wmodule.of_table ~name:d.md_name ~inputs ~outputs table
   in
   try
     String.split_on_char '\n' text
     |> List.iteri (fun i line -> handle (i + 1) (tokens line));
-    let decls = List.rev_map (Hashtbl.find mods) !mod_order in
-    if decls = [] then Error "no modules declared"
-    else begin
-      let wmods = List.map build_module decls in
-      match Workflow.create wmods with
-      | Error e -> Error e
-      | Ok workflow ->
-          let costs =
-            List.rev_map
-              (fun name ->
-                let _, cost = Hashtbl.find attrs name in
-                (name, cost))
-              !attr_order
-          in
-          let publics =
-            List.filter_map
-              (fun (d : mod_decl) -> Option.map (fun c -> (d.md_name, c)) d.md_public)
-              decls
-          in
-          Ok { workflow; costs; publics; gamma = !gamma; gamma_overrides = !overrides }
-    end
-  with
-  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
-  | Failure msg | Invalid_argument msg -> Error msg
+    let freeze b =
+      { m_line = b.b_line; m_name = b.b_name; m_public = b.b_public;
+        m_inputs = b.b_inputs; m_outputs = b.b_outputs;
+        m_rows = List.rev b.b_rows; m_fn = b.b_fn }
+    in
+    Ok
+      { r_attrs = List.rev !attrs;
+        r_modules = List.rev_map freeze !mods;
+        r_gammas = List.rev !gammas }
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
 
-let parse_file path =
+(* ------------------------------------------------------------------ *)
+(* Elaboration: raw -> spec                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The semantic validations that {!parse_raw_string} defers. Collected
+   with their lines and reported in file order, matching the behavior of
+   the historic single-pass parser. *)
+let semantic_errors raw =
+  let errs = ref [] in
+  let add line fmt = Printf.ksprintf (fun m -> errs := (line, m) :: !errs) fmt in
+  let seen_attrs = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen_attrs a.a_name then add a.a_line "duplicate attribute %s" a.a_name
+      else Hashtbl.add seen_attrs a.a_name ())
+    raw.r_attrs;
+  let seen_mods = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem seen_mods m.m_name then add m.m_line "duplicate module %s" m.m_name
+      else Hashtbl.add seen_mods m.m_name ();
+      List.iter
+        (fun a ->
+          if not (Hashtbl.mem seen_attrs a) then add m.m_line "undeclared attribute %s" a)
+        (m.m_inputs @ m.m_outputs);
+      List.iter
+        (fun r ->
+          if Array.length r.r_ins <> List.length m.m_inputs then
+            add r.r_line "row arity mismatch for inputs of %s" m.m_name;
+          if Array.length r.r_outs <> List.length m.m_outputs then
+            add r.r_line "row arity mismatch for outputs of %s" m.m_name)
+        m.m_rows)
+    raw.r_modules;
+  List.sort (fun (l, _) (l', _) -> compare l l') (List.rev !errs)
+
+let build_module attrs (d : raw_module) =
+  let attr name =
+    let a = List.find (fun a -> a.a_name = name) attrs in
+    A.make name ~dom:a.a_dom
+  in
+  let inputs = List.map attr d.m_inputs and outputs = List.map attr d.m_outputs in
+  let booleans_only () =
+    if List.exists (fun a -> A.dom a <> 2) (inputs @ outputs) then
+      failwith (Printf.sprintf "module %s: builtins need boolean attributes" d.m_name)
+  in
+  match (d.m_fn, d.m_rows) with
+  | Some _, _ :: _ -> failwith (Printf.sprintf "module %s has both fn and rows" d.m_name)
+  | Some (spec, _), [] -> (
+      booleans_only ();
+      let ins = d.m_inputs and outs = d.m_outputs in
+      match spec with
+      | [ "identity" ] -> Library.identity ~name:d.m_name ~inputs:ins ~outputs:outs
+      | [ "negate" ] -> Library.negate_all ~name:d.m_name ~inputs:ins ~outputs:outs
+      | "constant" :: vals ->
+          Library.constant ~name:d.m_name ~inputs:ins ~outputs:outs
+            (Array.of_list (List.map int_of_string vals))
+      | [ "majority" ] | [ "and" ] | [ "or" ] | [ "xor" ] -> (
+          match (outs, List.hd spec) with
+          | [ o ], "majority" -> Library.majority ~name:d.m_name ~inputs:ins ~output:o
+          | [ o ], "and" -> Library.and_gate ~name:d.m_name ~inputs:ins ~output:o
+          | [ o ], "or" -> Library.or_gate ~name:d.m_name ~inputs:ins ~output:o
+          | [ o ], "xor" -> Library.xor_gate ~name:d.m_name ~inputs:ins ~output:o
+          | _ -> failwith (Printf.sprintf "module %s: gate builtins need one output" d.m_name))
+      | s :: _ -> failwith (Printf.sprintf "module %s: unknown builtin %s" d.m_name s)
+      | [] -> assert false)
+  | None, [] -> failwith (Printf.sprintf "module %s has no functionality" d.m_name)
+  | None, rows ->
+      let schema = S.of_list (inputs @ outputs) in
+      let table =
+        R.create schema (List.map (fun r -> Array.append r.r_ins r.r_outs) rows)
+      in
+      Wmodule.of_table ~name:d.m_name ~inputs ~outputs table
+
+let default_gamma raw =
+  List.fold_left
+    (fun acc g -> match g.g_module with None -> g.g_value | Some _ -> acc)
+    2 raw.r_gammas
+
+let gamma_overrides_of raw =
+  (* Reverse file order, so [List.assoc] sees the last override first. *)
+  List.fold_left
+    (fun acc g ->
+      match g.g_module with None -> acc | Some m -> (m, g.g_value) :: acc)
+    [] raw.r_gammas
+
+let spec_of_raw raw =
+  match semantic_errors raw with
+  | (line, msg) :: _ -> Error (Printf.sprintf "line %d: %s" line msg)
+  | [] -> (
+      if raw.r_modules = [] then Error "no modules declared"
+      else
+        try
+          let wmods = List.map (build_module raw.r_attrs) raw.r_modules in
+          match Workflow.create wmods with
+          | Error e -> Error e
+          | Ok workflow ->
+              let costs = List.map (fun a -> (a.a_name, a.a_cost)) raw.r_attrs in
+              let publics =
+                List.filter_map
+                  (fun m -> Option.map (fun c -> (m.m_name, c)) m.m_public)
+                  raw.r_modules
+              in
+              Ok
+                { workflow; costs; publics; gamma = default_gamma raw;
+                  gamma_overrides = gamma_overrides_of raw; raw }
+        with Failure msg | Invalid_argument msg -> Error msg)
+
+let parse_string text = Result.bind (parse_raw_string text) spec_of_raw
+
+let parse_raw_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse_string text
+  | text -> parse_raw_string text
   | exception Sys_error e -> Error e
+
+let parse_file path = Result.bind (parse_raw_file path) spec_of_raw

@@ -13,7 +13,44 @@
     v}
 
     Builtin functionalities require boolean attributes. A module must
-    have either an [fn] directive or at least one [row]. *)
+    have either an [fn] directive or at least one [row].
+
+    Parsing is two-phase. {!parse_raw_string} only rejects syntax it
+    cannot tokenize and yields a {!raw} declaration list that carries
+    the source line of every declaration — including semantically broken
+    ones (duplicate names, undeclared attributes, cyclic wiring, FD
+    violations), which is what {!Analysis.Wfcheck} lints. {!spec_of_raw}
+    then enforces the semantic rules and builds the workflow. *)
+
+(** {1 Raw declarations} *)
+
+type raw_attr = { a_name : string; a_dom : int; a_cost : Rat.t; a_line : int }
+
+type raw_row = { r_line : int; r_ins : int array; r_outs : int array }
+
+type raw_module = {
+  m_line : int;
+  m_name : string;
+  m_public : Rat.t option;  (** privatization cost when public *)
+  m_inputs : string list;
+  m_outputs : string list;
+  m_rows : raw_row list;  (** file order *)
+  m_fn : (string list * int) option;  (** builtin spec and its line *)
+}
+
+type raw_gamma = {
+  g_line : int;
+  g_module : string option;  (** [None] for the workflow default *)
+  g_value : int;
+}
+
+type raw = {
+  r_attrs : raw_attr list;  (** declaration order *)
+  r_modules : raw_module list;  (** declaration order *)
+  r_gammas : raw_gamma list;  (** file order *)
+}
+
+(** {1 Elaborated specs} *)
 
 type spec = {
   workflow : Workflow.t;
@@ -21,9 +58,34 @@ type spec = {
   publics : (string * Rat.t) list;  (** public module name, privatization cost *)
   gamma : int;
   gamma_overrides : (string * int) list;
+  raw : raw;  (** the declarations the spec was built from, with lines *)
 }
 
+exception Parse_error of int * string
+(** Internal signalling; the [result] API below never lets it escape. *)
+
+val parse_raw_string : string -> (raw, string) result
+(** Tokenize and collect declarations. Fails only on syntax-level
+    problems (unknown directive, malformed number, missing keyword,
+    [row]/[fn] naming a module that was never declared); the error
+    string carries a [line N:] prefix. *)
+
+val parse_raw_file : string -> (raw, string) result
+
+val default_gamma : raw -> int
+(** The workflow-wide gamma: the last module-less [gamma] directive,
+    defaulting to 2. *)
+
+val gamma_overrides_of : raw -> (string * int) list
+(** Per-module overrides in reverse file order, so [List.assoc] resolves
+    repeated overrides to the last one. *)
+
+val spec_of_raw : raw -> (spec, string) result
+(** Enforce the semantic rules (unique declarations, declared
+    attributes, row arities, module FDs, DAG wiring) and build the
+    workflow. Declaration-level errors carry a [line N:] prefix. *)
+
 val parse_string : string -> (spec, string) result
-(** The error carries a line number and message. *)
+(** [parse_raw_string] followed by [spec_of_raw]. *)
 
 val parse_file : string -> (spec, string) result

@@ -1,0 +1,163 @@
+(* Error-path coverage for Wf.Parse: every [fail] branch of the raw
+   parser and every semantic rejection of [spec_of_raw] gets a test
+   asserting the exact line number and message. *)
+
+let err text =
+  match Wf.Parse.parse_string text with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+
+let raw_err text =
+  match Wf.Parse.parse_raw_string text with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "expected a raw parse error for %S" text
+
+let check_err name expected text = Alcotest.(check string) name expected (err text)
+
+(* --- syntax-level failures (parse_raw_string) ------------------------- *)
+
+let test_unknown_directive () =
+  check_err "unknown directive" "line 1: unknown directive bogus" "bogus x y";
+  (* a gamma directive with too many tokens degenerates to this too *)
+  check_err "gamma arity" "line 1: unknown directive gamma" "gamma a b c";
+  Alcotest.(check string) "raw parser reports it too" "line 1: unknown directive bogus"
+    (raw_err "bogus x y")
+
+let test_bad_integer () =
+  check_err "gamma" "line 1: expected an integer, got z" "gamma z";
+  check_err "gamma override" "line 1: expected an integer, got z" "gamma m z";
+  check_err "attr dom" "line 1: expected an integer, got q" "attr x dom q";
+  check_err "row value" "line 4: expected an integer, got v"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nrow m v -> 1"
+
+let test_bad_rational () =
+  check_err "attr cost" "line 1: expected a rational, got zz" "attr x cost zz";
+  check_err "public cost" "line 2: expected a rational, got pi"
+    "attr x\nmodule m public cost pi inputs x outputs x"
+
+let test_attr_unexpected_token () =
+  check_err "attr trailing" "line 1: unexpected token blah" "attr x blah"
+
+let test_module_shape () =
+  check_err "missing visibility" "line 2: expected private or public after module name"
+    "attr x\nmodule m inputs x outputs y";
+  check_err "missing outputs keyword" "line 1: expected keyword outputs"
+    "module m private inputs x";
+  check_err "missing inputs keyword" "line 1: expected inputs ... outputs ..."
+    "module m private x outputs y";
+  check_err "empty inputs" "line 1: module needs inputs and outputs"
+    "module m private inputs outputs y";
+  check_err "empty outputs" "line 1: module needs inputs and outputs"
+    "module m private inputs x outputs"
+
+let test_row_shape () =
+  check_err "unknown module" "line 1: unknown module m" "row m 0 -> 1";
+  check_err "missing arrow" "line 4: expected keyword ->"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nrow m 0 1"
+
+let test_fn_shape () =
+  check_err "unknown module" "line 1: unknown module m" "fn m and";
+  check_err "missing builtin" "line 4: fn needs a builtin name"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nfn m"
+
+(* --- semantic failures (spec_of_raw) ---------------------------------- *)
+
+let test_duplicate_declarations () =
+  check_err "duplicate attribute" "line 2: duplicate attribute x" "attr x\nattr x";
+  check_err "duplicate module" "line 5: duplicate module m"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nfn m negate\nmodule m private inputs x outputs y"
+
+let test_undeclared_attribute () =
+  check_err "undeclared output" "line 2: undeclared attribute y"
+    "attr x\nmodule m private inputs x outputs y\nrow m 0 -> 0";
+  check_err "undeclared input" "line 1: undeclared attribute x"
+    "module m private inputs x outputs y"
+
+let test_row_arity () =
+  check_err "input arity" "line 4: row arity mismatch for inputs of m"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nrow m 0 1 -> 0";
+  check_err "output arity" "line 4: row arity mismatch for outputs of m"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nrow m 0 -> 0 1"
+
+let test_first_error_wins () =
+  (* Semantic errors are reported in file order, matching the historic
+     single-pass parser. *)
+  check_err "earliest line reported" "line 2: duplicate attribute x"
+    "attr x\nattr x\nmodule m private inputs x outputs nope"
+
+let test_build_failures () =
+  check_err "no modules" "no modules declared" "attr x";
+  check_err "no modules at all" "no modules declared" "";
+  check_err "fn and rows" "module m has both fn and rows"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nfn m negate\nrow m 0 -> 1";
+  check_err "no functionality" "module m has no functionality"
+    "attr x\nattr y\nmodule m private inputs x outputs y";
+  check_err "unknown builtin" "module m: unknown builtin zzz"
+    "attr x\nattr y\nmodule m private inputs x outputs y\nfn m zzz";
+  check_err "gate output arity" "module m: gate builtins need one output"
+    "attr x\nattr y\nattr z\nmodule m private inputs x outputs y z\nfn m and";
+  check_err "non-boolean builtin" "module m: builtins need boolean attributes"
+    "attr x dom 3\nattr y\nmodule m private inputs x outputs y\nfn m and";
+  check_err "cycle" "workflow contains a cycle"
+    "attr x\nattr y\nmodule f private inputs x outputs y\nfn f identity\nmodule g private inputs y outputs x\nfn g identity";
+  check_err "two producers" "some attribute is produced by two modules"
+    "attr x\nattr y\nmodule f private inputs x outputs y\nfn f identity\nmodule g private inputs x outputs y\nfn g identity"
+
+(* --- the raw layer keeps source locations ----------------------------- *)
+
+let test_raw_locations () =
+  let raw =
+    match
+      Wf.Parse.parse_raw_string
+        "gamma 3\nattr x cost 2\nattr y\nmodule m private inputs x outputs y\nrow m 0 -> 1\nrow m 1 -> 0\ngamma m 5"
+    with
+    | Ok raw -> raw
+    | Error e -> Alcotest.failf "unexpected error: %s" e
+  in
+  let attr name = List.find (fun (a : Wf.Parse.raw_attr) -> a.Wf.Parse.a_name = name) raw.Wf.Parse.r_attrs in
+  Alcotest.(check int) "attr x line" 2 (attr "x").Wf.Parse.a_line;
+  Alcotest.(check int) "attr y line" 3 (attr "y").Wf.Parse.a_line;
+  let m = List.hd raw.Wf.Parse.r_modules in
+  Alcotest.(check int) "module line" 4 m.Wf.Parse.m_line;
+  Alcotest.(check (list int)) "row lines" [ 5; 6 ]
+    (List.map (fun (r : Wf.Parse.raw_row) -> r.Wf.Parse.r_line) m.Wf.Parse.m_rows);
+  Alcotest.(check (list int)) "gamma lines" [ 1; 7 ]
+    (List.map (fun (g : Wf.Parse.raw_gamma) -> g.Wf.Parse.g_line) raw.Wf.Parse.r_gammas);
+  Alcotest.(check int) "default gamma" 3 (Wf.Parse.default_gamma raw);
+  Alcotest.(check (list (pair string int))) "overrides" [ ("m", 5) ]
+    (Wf.Parse.gamma_overrides_of raw)
+
+let test_spec_carries_raw () =
+  match Wf.Parse.parse_string "attr x\nattr y\nmodule m private inputs x outputs y\nfn m negate" with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok spec ->
+      Alcotest.(check int) "one module" 1 (List.length spec.Wf.Parse.raw.Wf.Parse.r_modules);
+      Alcotest.(check int) "two attrs" 2 (List.length spec.Wf.Parse.raw.Wf.Parse.r_attrs)
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "syntax errors",
+        [
+          Alcotest.test_case "unknown directive" `Quick test_unknown_directive;
+          Alcotest.test_case "bad integer" `Quick test_bad_integer;
+          Alcotest.test_case "bad rational" `Quick test_bad_rational;
+          Alcotest.test_case "attr trailing token" `Quick test_attr_unexpected_token;
+          Alcotest.test_case "module shape" `Quick test_module_shape;
+          Alcotest.test_case "row shape" `Quick test_row_shape;
+          Alcotest.test_case "fn shape" `Quick test_fn_shape;
+        ] );
+      ( "semantic errors",
+        [
+          Alcotest.test_case "duplicate declarations" `Quick test_duplicate_declarations;
+          Alcotest.test_case "undeclared attribute" `Quick test_undeclared_attribute;
+          Alcotest.test_case "row arity" `Quick test_row_arity;
+          Alcotest.test_case "first error wins" `Quick test_first_error_wins;
+          Alcotest.test_case "build failures" `Quick test_build_failures;
+        ] );
+      ( "raw layer",
+        [
+          Alcotest.test_case "locations" `Quick test_raw_locations;
+          Alcotest.test_case "spec carries raw" `Quick test_spec_carries_raw;
+        ] );
+    ]
