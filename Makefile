@@ -1,8 +1,13 @@
-.PHONY: build test bench bench-smoke bench-json lint-examples clean
+.PHONY: build test bench bench-smoke bench-json bench-compare lint-examples clean
 
 # Output path for bench-json; override to record a new baseline, e.g.
 #   make bench-json OUT=BENCH_PR2.json
 OUT ?= BENCH.json
+
+# Baselines for bench-compare, e.g.
+#   make bench-compare BASE=BENCH_PR1.json NEW=BENCH_PR3.json
+BASE ?= BENCH_PR1.json
+NEW ?= BENCH_PR3.json
 
 build:
 	dune build
@@ -21,6 +26,11 @@ bench-smoke:
 # Full timing run, recorded as a flat JSON baseline.
 bench-json:
 	dune exec bench/main.exe -- --timings --json $(OUT)
+
+# Per-kernel speedups between two bench-json baselines; regressions
+# beyond 10% are flagged in the output.
+bench-compare:
+	dune exec bench/main.exe -- --compare $(BASE) $(NEW)
 
 # Wfcheck over the example corpus: shipped specs must lint clean, and
 # every fixture under examples/bad/ must report the W0xx code its file

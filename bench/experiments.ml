@@ -358,7 +358,9 @@ let e10 () =
     T.create
       [ "universe"; "sets"; "SC exact"; "SC greedy"; "SV exact"; "equal?"; "SV alg1" ]
   in
-  List.iter
+  (* The per-seed gadget ILPs are independent; solve them concurrently
+     and render the table in order afterwards. *)
+  Svutil.Par.map
     (fun seed ->
       let rng = Rng.create (5000 + seed) in
       let sc = Combinat.Set_cover.random rng ~universe:8 ~n_sets:6 in
@@ -372,12 +374,12 @@ let e10 () =
             rat_str (Core.Rounding.algorithm1 (Rng.create seed) inst ~x).Sol.cost
         | `Infeasible -> "-"
       in
-      T.add_row t
-        [
-          "8"; "6"; string_of_int k; string_of_int g; rat_str sv;
-          string_of_bool (Q.equal sv (Q.of_int k)); alg1;
-        ])
-    [ 0; 1; 2; 3 ];
+      [
+        "8"; "6"; string_of_int k; string_of_int g; rat_str sv;
+        string_of_bool (Q.equal sv (Q.of_int k)); alg1;
+      ])
+    [ 0; 1; 2; 3 ]
+  |> List.iter (T.add_row t);
   T.print t
 
 let e11 () =
@@ -402,7 +404,9 @@ let e11 () =
 let e12 () =
   header "E12" "Figure 5 gadget - cubic vertex cover, no data sharing (Lemma 6: m' + K)";
   let t = T.create [ "n"; "edges m'"; "VC exact K"; "SV exact"; "m' + K"; "equal?" ] in
-  List.iter
+  (* Independent per-size gadgets, and the n=8 one dominates: solving
+     them concurrently hides the small ones entirely. *)
+  Svutil.Par.map
     (fun n ->
       let rng = Rng.create (7000 + n) in
       let g = Combinat.Vertex_cover.random_cubic rng ~n in
@@ -410,12 +414,12 @@ let e12 () =
       let m' = List.length g.Combinat.Vertex_cover.edges in
       let sv = Option.get (exact_cost (Reductions.Vc_nosharing.of_vertex_cover g)) in
       let expect = Reductions.Vc_nosharing.expected_cost g ~cover_size:k in
-      T.add_row t
-        [
-          string_of_int n; string_of_int m'; string_of_int k; rat_str sv; rat_str expect;
-          string_of_bool (Q.equal sv expect);
-        ])
-    [ 4; 6; 8 ];
+      [
+        string_of_int n; string_of_int m'; string_of_int k; rat_str sv; rat_str expect;
+        string_of_bool (Q.equal sv expect);
+      ])
+    [ 4; 6; 8 ]
+  |> List.iter (T.add_row t);
   T.print t
 
 let e13 () =
@@ -449,37 +453,37 @@ let e13 () =
 let e14 () =
   header "E14" "C.2 gadget - set cover = privatization cost in general workflows (Theorem 9)";
   let t = T.create [ "instance"; "SC exact"; "SV exact"; "equal?" ] in
-  List.iter
+  Svutil.Par.map
     (fun seed ->
       let rng = Rng.create (8000 + seed) in
       let sc = Combinat.Set_cover.random rng ~universe:7 ~n_sets:5 in
       let k = List.length (Combinat.Set_cover.exact sc) in
       let sv = Option.get (exact_cost (Reductions.Sc_general.of_set_cover sc)) in
-      T.add_row t
-        [
-          Printf.sprintf "seed %d" seed; string_of_int k; rat_str sv;
-          string_of_bool (Q.equal sv (Q.of_int k));
-        ])
-    [ 0; 1; 2; 3 ];
+      [
+        Printf.sprintf "seed %d" seed; string_of_int k; rat_str sv;
+        string_of_bool (Q.equal sv (Q.of_int k));
+      ])
+    [ 0; 1; 2; 3 ]
+  |> List.iter (T.add_row t);
   T.print t
 
 let e15 () =
   header "E15" "Figure 6 gadget - label cover = general-workflow cardinality Secure-View (Lemma 8)";
   let t = T.create [ "instance"; "LC exact"; "SV exact"; "equal?" ] in
-  List.iter
+  Svutil.Par.map
     (fun seed ->
       let rng = Rng.create (9000 + seed) in
       let lc = Combinat.Label_cover.random rng ~left:2 ~right:2 ~labels:2 ~edge_prob:0.5 in
       let k = Combinat.Label_cover.cost (Combinat.Label_cover.exact lc) in
       let sv = Option.get (exact_cost (Reductions.Lc_general.of_label_cover lc)) in
-      T.add_row t
-        [
-          Printf.sprintf "seed %d (%d edges)" seed (List.length lc.Combinat.Label_cover.edges);
-          string_of_int k;
-          rat_str sv;
-          string_of_bool (Q.equal sv (Q.of_int k));
-        ])
-    [ 0; 1; 2 ];
+      [
+        Printf.sprintf "seed %d (%d edges)" seed (List.length lc.Combinat.Label_cover.edges);
+        string_of_int k;
+        rat_str sv;
+        string_of_bool (Q.equal sv (Q.of_int k));
+      ])
+    [ 0; 1; 2 ]
+  |> List.iter (T.add_row t);
   T.print t
 
 let e16 () =

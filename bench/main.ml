@@ -5,7 +5,11 @@
    dune exec bench/main.exe -- --no-timings -- tables only
    dune exec bench/main.exe -- --timings    -- bechamel timings only
    dune exec bench/main.exe -- --smoke      -- tiny quota (CI sanity run)
-   dune exec bench/main.exe -- --json F     -- also write timings to F *)
+   dune exec bench/main.exe -- --json F     -- also write timings to F
+   dune exec bench/main.exe -- --filter R   -- only kernels/experiments
+                                               matching regex R (Str syntax)
+   dune exec bench/main.exe -- --compare A B -- per-kernel speedups between
+                                               two bench-json files *)
 
 open Bechamel
 open Toolkit
@@ -74,7 +78,7 @@ let timing_tests () =
     Wf.Gen.random_workflow (Rng.create 47)
       { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
   in
-  let stage name f = Test.make ~name (Staged.stage f) in
+  let stage name f = (name, Test.make ~name (Staged.stage f)) in
   let lp_x inst =
     match Core.Card_lp.lp_relaxation ~fast:true inst with
     | `Optimal (x, _) -> x
@@ -162,60 +166,160 @@ let write_json path rows =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_timings ~smoke ~json =
+let run_timings ~smoke ~json ~matches =
   print_endline "\n== Bechamel timings (ns per run, OLS fit) ==";
-  let tests = timing_tests () in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    if smoke then Benchmark.cfg ~limit:10 ~quota:(Time.second 0.02) ~stabilize:false ()
-    else Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~stabilize:false ()
+  let tests =
+    timing_tests ()
+    |> List.filter (fun (name, _) -> matches name)
+    |> List.map snd
   in
-  let grouped = Test.make_grouped ~name:"secure-view" ~fmt:"%s/%s" tests in
-  let raw = Benchmark.all cfg instances grouped in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name res acc ->
-        let est =
-          match Analyze.OLS.estimates res with Some (v :: _) -> Some v | _ -> None
-        in
-        (name, est) :: acc)
-      results []
-    |> List.sort compare
+  if tests = [] then print_endline "(no timing kernel matches the filter)"
+  else begin
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      if smoke then Benchmark.cfg ~limit:10 ~quota:(Time.second 0.02) ~stabilize:false ()
+      else Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~stabilize:false ()
+    in
+    let grouped = Test.make_grouped ~name:"secure-view" ~fmt:"%s/%s" tests in
+    let raw = Benchmark.all cfg instances grouped in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let rows =
+      Hashtbl.fold
+        (fun name res acc ->
+          let est =
+            match Analyze.OLS.estimates res with Some (v :: _) -> Some v | _ -> None
+          in
+          (name, est) :: acc)
+        results []
+      |> List.sort compare
+    in
+    let table = Svutil.Table.create [ "test"; "ns/run" ] in
+    List.iter
+      (fun (name, est) ->
+        let s = match est with Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+        Svutil.Table.add_row table [ name; s ])
+      rows;
+    Svutil.Table.print table;
+    Option.iter (fun path -> write_json path rows) json
+  end
+
+(* {2 Baseline comparison: --compare BASE NEW} *)
+
+(* Reads the flat { "name": ns } objects written by [write_json]; [null]
+   estimates are skipped. *)
+let read_bench_json path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "bench --compare: %s\n" msg;
+      exit 2
   in
-  let table = Svutil.Table.create [ "test"; "ns/run" ] in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let re = Str.regexp {|"\([^"]+\)"[ \t]*:[ \t]*\([0-9.eE+-]+\|null\)|} in
+  let rec go pos acc =
+    match Str.search_forward re s pos with
+    | exception Not_found -> List.rev acc
+    | _ ->
+        let name = Str.matched_group 1 s in
+        let v = Str.matched_group 2 s in
+        let pos = Str.match_end () in
+        go pos (match float_of_string_opt v with Some f -> (name, f) :: acc | None -> acc)
+  in
+  go 0 []
+
+let run_compare base_path new_path =
+  let base = read_bench_json base_path in
+  let fresh = read_bench_json new_path in
+  let t = Svutil.Table.create [ "test"; "base ns"; "new ns"; "speedup"; "flag" ] in
+  let regressions = ref [] in
   List.iter
-    (fun (name, est) ->
-      let s = match est with Some v -> Printf.sprintf "%.0f" v | None -> "-" in
-      Svutil.Table.add_row table [ name; s ])
-    rows;
-  Svutil.Table.print table;
-  Option.iter (fun path -> write_json path rows) json
+    (fun (name, b) ->
+      match List.assoc_opt name fresh with
+      | None -> Svutil.Table.add_row t [ name; Printf.sprintf "%.0f" b; "-"; "-"; "missing" ]
+      | Some n ->
+          let speedup = if n > 0.0 then b /. n else infinity in
+          let flag =
+            if n > b *. 1.1 then begin
+              regressions := name :: !regressions;
+              "REGRESSED >10%"
+            end
+            else if speedup >= 2.0 then "faster"
+            else ""
+          in
+          Svutil.Table.add_row t
+            [
+              name;
+              Printf.sprintf "%.0f" b;
+              Printf.sprintf "%.0f" n;
+              Printf.sprintf "%.2fx" speedup;
+              flag;
+            ])
+    base;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base) then
+        Svutil.Table.add_row t [ name; "-"; "-"; "-"; "new" ])
+    fresh;
+  Printf.printf "\n== %s vs %s ==\n" base_path new_path;
+  Svutil.Table.print t;
+  match List.rev !regressions with
+  | [] -> print_endline "\nno kernel regressed by more than 10%"
+  | rs ->
+      Printf.printf "\n%d kernel(s) regressed by more than 10%%:\n" (List.length rs);
+      List.iter (fun r -> Printf.printf "  %s\n" r) rs
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec json_path = function
+  let rec find_compare = function
     | [] -> None
-    | "--json" :: path :: _ -> Some path
-    | _ :: rest -> json_path rest
+    | "--compare" :: b :: n :: _ -> Some (b, n)
+    | "--compare" :: _ ->
+        prerr_endline "usage: --compare BASE.json NEW.json";
+        exit 2
+    | _ :: rest -> find_compare rest
   in
-  let json = json_path args in
-  let rec drop_json = function
-    | [] -> []
-    | "--json" :: _ :: rest -> drop_json rest
-    | a :: rest -> a :: drop_json rest
-  in
-  let args = drop_json args in
-  let timings_only = List.mem "--timings" args in
-  let no_timings = List.mem "--no-timings" args in
-  let smoke = List.mem "--smoke" args in
-  let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
-  if (not timings_only) && not smoke then begin
-    print_endline "Provenance Views for Module Privacy - experiment harness";
-    print_endline "(paper-vs-measured record: EXPERIMENTS.md)";
-    List.iter
-      (fun (name, run) -> if selected = [] || List.mem name selected then run ())
-      Experiments.all
-  end;
-  if (not no_timings) && selected = [] then run_timings ~smoke ~json
+  match find_compare args with
+  | Some (b, n) -> run_compare b n
+  | None ->
+      (* Extract "--opt value" pairs, then flags. *)
+      let rec opt_value name = function
+        | [] -> None
+        | o :: v :: _ when o = name -> Some v
+        | _ :: rest -> opt_value name rest
+      in
+      let json = opt_value "--json" args in
+      let filter =
+        Option.map
+          (fun r ->
+            try Str.regexp r
+            with _ ->
+              Printf.eprintf "bench: bad --filter regex %S\n" r;
+              exit 2)
+          (opt_value "--filter" args)
+      in
+      let matches name =
+        match filter with
+        | None -> true
+        | Some re -> ( try ignore (Str.search_forward re name 0); true with Not_found -> false)
+      in
+      let rec drop_opts = function
+        | [] -> []
+        | ("--json" | "--filter") :: _ :: rest -> drop_opts rest
+        | a :: rest -> a :: drop_opts rest
+      in
+      let args = drop_opts args in
+      let timings_only = List.mem "--timings" args in
+      let no_timings = List.mem "--no-timings" args in
+      let smoke = List.mem "--smoke" args in
+      let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+      if (not timings_only) && not smoke then begin
+        print_endline "Provenance Views for Module Privacy - experiment harness";
+        print_endline "(paper-vs-measured record: EXPERIMENTS.md)";
+        List.iter
+          (fun (name, run) ->
+            if (selected = [] || List.mem name selected) && matches name then run ())
+          Experiments.all
+      end;
+      if (not no_timings) && selected = [] then run_timings ~smoke ~json ~matches

@@ -161,26 +161,109 @@ let emit_view_arg =
   Arg.(value & flag & info [ "emit-view" ]
          ~doc:"Also print the published view relation pi_V(R) and the module renaming.")
 
+let node_limit_arg =
+  Arg.(value & opt int Lp.Ilp.default_node_limit
+       & info [ "node-limit" ] ~docv:"N"
+           ~doc:"Branch-and-bound node budget for the exact solver.")
+
+let lp_solver_arg =
+  let solvers = Arg.enum [ ("exact", `Exact); ("fast", `Fast) ] in
+  Arg.(value & opt solvers `Fast
+       & info [ "solver" ] ~docv:"FIELD"
+           ~doc:"Arithmetic for the branch-and-bound LP relaxations: $(b,exact) \
+                 (rational, the reference) or $(b,fast) (float).")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Evaluate up to N branch-and-bound nodes concurrently (OCaml 5 \
+                 domains; sequential fallback on 4.x). The answer does not \
+                 depend on N.")
+
+let solve_json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit results as JSON, including branch-and-bound search \
+                 statistics for the exact method.")
+
+(* Minimal JSON emission; attribute and module names are identifiers. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_list items = "[" ^ String.concat "," (List.map json_str items) ^ "]"
+
+let json_solution (s : Core.Solution.t) =
+  Printf.sprintf {|{"cost":%s,"hidden":%s,"privatized":%s}|}
+    (json_str (Rat.to_string s.Core.Solution.cost))
+    (json_list s.Core.Solution.hidden)
+    (json_list s.Core.Solution.privatized)
+
 let solve_cmd =
-  let run file meth emit_view =
+  let run file meth emit_view node_limit lp_solver jobs json =
     let spec = load ~preflight:true file in
     let inst = instance_of spec in
-    let print_sol label s = Format.printf "%-8s %a@." label Core.Solution.pp s in
-    let greedy () = print_sol "greedy" (Core.Greedy.solve inst) in
+    let fast = match lp_solver with `Fast -> true | `Exact -> false in
+    let fields = ref [] in
+    let field k v = fields := (k, v) :: !fields in
+    let print_sol label s =
+      if not json then Format.printf "%-8s %a@." label Core.Solution.pp s
+    in
+    let greedy () =
+      let s = Core.Greedy.solve inst in
+      print_sol "greedy" s;
+      field "greedy" (json_solution s)
+    in
+    (* The rounding step needs exact LP optima (the Theorem 5/6
+       threshold guarantee does not survive float round-off), so the lp
+       method ignores [--solver]; the flag steers the branch-and-bound
+       relaxations only. *)
     let lp () =
       match Core.Set_lp.lp_relaxation inst with
       | `Optimal (x, bound) ->
-          Format.printf "%-8s %s@." "lp-bound" (Rat.to_string bound);
-          print_sol "lp-round" (Core.Rounding.threshold inst ~x)
-      | `Infeasible -> print_endline "lp: infeasible"
+          let rounded = Core.Rounding.threshold inst ~x in
+          if not json then
+            Format.printf "%-8s %s@." "lp-bound" (Rat.to_string bound);
+          print_sol "lp-round" rounded;
+          field "lp"
+            (Printf.sprintf {|{"bound":%s,"rounded":%s}|}
+               (json_str (Rat.to_string bound))
+               (json_solution rounded))
+      | `Infeasible ->
+          if not json then print_endline "lp: infeasible";
+          field "lp" {|{"infeasible":true}|}
     in
     let exact () =
-      match Core.Exact.solve inst with
+      let outcome, stats =
+        Core.Exact.solve_with_stats ~node_limit ~fast ~jobs inst
+      in
+      let stats_json =
+        Printf.sprintf {|"nodes":%d,"node_limit":%d,"limit_hit":%b|}
+          stats.Lp.Ilp.nodes stats.Lp.Ilp.node_limit stats.Lp.Ilp.limit_hit
+      in
+      match outcome with
       | Some { Core.Exact.solution; proven_optimal } ->
           print_sol (if proven_optimal then "optimal" else "best") solution;
+          if (not json) && stats.Lp.Ilp.limit_hit then
+            Printf.printf "(node limit %d reached after %d nodes)\n"
+              stats.Lp.Ilp.node_limit stats.Lp.Ilp.nodes;
+          field "exact"
+            (Printf.sprintf {|{"solution":%s,"proven_optimal":%b,%s}|}
+               (json_solution solution) proven_optimal stats_json);
           Some solution
       | None ->
-          print_endline "exact: infeasible";
+          if not json then print_endline "exact: infeasible";
+          field "exact"
+            (Printf.sprintf {|{"infeasible":true,%s}|} stats_json);
           None
     in
     let final =
@@ -197,10 +280,16 @@ let solve_cmd =
           None
       | `Exact -> exact ()
     in
+    if json then
+      print_endline
+        ("{"
+        ^ String.concat ","
+            (List.rev_map (fun (k, v) -> json_str k ^ ":" ^ v) !fields)
+        ^ "}");
     if emit_view then begin
       let solution =
         match final with Some s -> Some s | None -> (
-          match Core.Exact.solve inst with
+          match Core.Exact.solve ~node_limit ~fast ~jobs inst with
           | Some { Core.Exact.solution; _ } -> Some solution
           | None -> None)
       in
@@ -212,7 +301,8 @@ let solve_cmd =
     end
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve the workflow Secure-View problem.")
-    Term.(const run $ file_arg $ method_arg $ emit_view_arg)
+    Term.(const run $ file_arg $ method_arg $ emit_view_arg $ node_limit_arg
+          $ lp_solver_arg $ jobs_arg $ solve_json_arg)
 
 (* check ------------------------------------------------------------------ *)
 

@@ -14,10 +14,24 @@ let build_ip inst =
     let { Set_lp.problem; attr_var; _ } = Set_lp.build inst in
     (problem, attr_var)
 
-let solve ?(node_limit = 50_000) ?(fast = true) inst =
+(* Cheapest feasible solution we can get without branching: the greedy
+   heuristic. Its cost seeds the branch-and-bound as a strict cutoff, so
+   the search only explores nodes that can beat it. (LP-rounding seeds
+   live inside the solver: [Lp.Ilp] rounds its own root relaxation, so
+   solving a second LP here would duplicate work on every call.) *)
+let seed_solution inst =
+  match Greedy.solve inst with
+  | s when Solution.is_feasible inst s -> Some s
+  | _ | (exception _) -> None
+
+let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit) ?(fast = true)
+    ?(jobs = 1) inst =
   let problem, attr_var = build_ip inst in
+  let seed = seed_solution inst in
+  let cutoff = Option.map (fun (s : Solution.t) -> s.Solution.cost) seed in
   let solve_ilp =
-    if fast then Lp.Ilp.Fast.solve ~node_limit else Lp.Ilp.Exact.solve ~node_limit
+    if fast then Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ~jobs
+    else Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ~jobs
   in
   let finish ~proven values =
     let hidden =
@@ -29,12 +43,24 @@ let solve ?(node_limit = 50_000) ?(fast = true) inst =
     assert (Solution.is_feasible inst solution);
     Some { solution; proven_optimal = proven }
   in
-  match solve_ilp problem with
-  | Lp.Ilp.Optimal { values; _ } -> finish ~proven:true values
-  | Lp.Ilp.Feasible { values; _ } -> finish ~proven:false values
-  | Lp.Ilp.Infeasible -> None
-  | Lp.Ilp.Unknown -> None
-  | Lp.Ilp.Unbounded -> assert false (* all variables live in [0,1] *)
+  let result, stats = solve_ilp problem in
+  let outcome =
+    match result with
+    | Lp.Ilp.Optimal { values; _ } -> finish ~proven:true values
+    | Lp.Ilp.Feasible { values; _ } -> finish ~proven:false values
+    | Lp.Ilp.Infeasible ->
+        (* Under a cutoff this means "nothing strictly cheaper than the
+           seed exists", which proves the seed optimal. Without one it is
+           a genuine infeasibility. *)
+        Option.map (fun solution -> { solution; proven_optimal = true }) seed
+    | Lp.Ilp.Unknown ->
+        Option.map (fun solution -> { solution; proven_optimal = false }) seed
+    | Lp.Ilp.Unbounded -> assert false (* all variables live in [0,1] *)
+  in
+  (outcome, stats)
+
+let solve ?node_limit ?fast ?jobs inst =
+  fst (solve_with_stats ?node_limit ?fast ?jobs inst)
 
 let brute_force inst =
   let best = ref None in

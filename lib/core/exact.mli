@@ -13,10 +13,27 @@ type outcome = {
       (** false when the branch-and-bound node limit was reached *)
 }
 
-val solve : ?node_limit:int -> ?fast:bool -> Instance.t -> outcome option
+val solve :
+  ?node_limit:int -> ?fast:bool -> ?jobs:int -> Instance.t -> outcome option
 (** [None] when the instance is infeasible. [fast] uses the float
     simplex for the relaxations (default true: exact pivoting is the
-    reference but slow on the larger benchmark instances). *)
+    reference but slow on the larger benchmark instances). [jobs]
+    evaluates that many branch-and-bound nodes concurrently (default 1;
+    the answer does not depend on it). The search is seeded with the
+    greedy solution as a strict cutoff, so a run that proves the seed
+    unbeatable returns it as optimal without finding it again; the
+    LP-rounding seed lives inside {!Lp.Ilp}, which rounds its own root
+    relaxation. *)
+
+val solve_with_stats :
+  ?node_limit:int ->
+  ?fast:bool ->
+  ?jobs:int ->
+  Instance.t ->
+  outcome option * Lp.Ilp.stats
+(** Like {!solve}, also reporting branch-and-bound search statistics
+    (nodes explored, limit, whether the limit was hit) for diagnostics
+    and the CLI's [--json] output. *)
 
 val brute_force : Instance.t -> Solution.t option
 (** Exhaustive search over hidden attribute subsets. Requires at most 25

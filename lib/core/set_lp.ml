@@ -70,7 +70,10 @@ let build (inst : Instance.t) =
 let lp_relaxation ?(fast = false) inst =
   let { problem; attr_var; _ } = build inst in
   let relaxed = P.relax problem in
-  let solve = if fast then Lp.Simplex.Fast.solve else Lp.Simplex.Exact.solve in
+  let solve =
+    if fast then Lp.Presolve.solve_lp (module Lp.Simplex.Fast)
+    else Lp.Presolve.solve_lp (module Lp.Simplex.Exact)
+  in
   match solve relaxed with
   | Lp.Simplex.Optimal { objective; values } ->
       `Optimal ((fun a -> values.(List.assoc a attr_var)), objective)

@@ -8,6 +8,11 @@
 module type S = sig
   type t
 
+  val exact : bool
+  (** [true] when the field carries no rounding error (exact rationals).
+      Downstream layers use this to pick a zero integrality tolerance so
+      rational optima are never perturbed. *)
+
   val zero : t
   val one : t
   val of_rat : Rat.t -> t
@@ -23,12 +28,25 @@ module type S = sig
   (** With tolerance in the float instance: pivot candidates smaller than
       the tolerance are treated as zero. *)
 
+  val row_axpy : t -> t array -> t array -> unit
+  (** [row_axpy f src dst] sets [dst.(j) <- dst.(j) - f * src.(j)] for
+      every index of [dst]. This is the simplex pivot's inner loop;
+      implementing it inside each field makes the code monomorphic, so
+      the float instance runs over unboxed flat float arrays instead of
+      paying a closure call per cell. The rational instance skips zero
+      [src] entries, saving a bignum allocation each. *)
+
+  val row_div : t array -> t -> unit
+  (** [row_div dst pv] sets [dst.(j) <- dst.(j) / pv] for every index,
+      with the same per-field specialization as {!row_axpy}. *)
+
   val to_string : t -> string
 end
 
 module Rat_field : S with type t = Rat.t = struct
   type t = Rat.t
 
+  let exact = true
   let zero = Rat.zero
   let one = Rat.one
   let of_rat q = q
@@ -40,12 +58,27 @@ module Rat_field : S with type t = Rat.t = struct
   let neg = Rat.neg
   let compare = Rat.compare
   let is_zero = Rat.is_zero
+
+  let row_axpy f src dst =
+    for j = 0 to Array.length dst - 1 do
+      let p = Array.unsafe_get src j in
+      if not (Rat.is_zero p) then
+        Array.unsafe_set dst j (Rat.sub (Array.unsafe_get dst j) (Rat.mul f p))
+    done
+
+  let row_div dst pv =
+    for j = 0 to Array.length dst - 1 do
+      let v = Array.unsafe_get dst j in
+      if not (Rat.is_zero v) then Array.unsafe_set dst j (Rat.div v pv)
+    done
+
   let to_string = Rat.to_string
 end
 
 module Float_field : S with type t = float = struct
   type t = float
 
+  let exact = false
   let eps = 1e-9
   let zero = 0.0
   let one = 1.0
@@ -66,5 +99,19 @@ module Float_field : S with type t = float = struct
   let neg x = -.x
   let compare a b = if Float.abs (a -. b) <= eps then 0 else Float.compare a b
   let is_zero x = Float.abs x <= eps
+
+  (* [t = float] is concrete here, so these loops compile against the
+     flat float-array representation: no boxing, no closure calls. *)
+  let row_axpy f src dst =
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set dst j
+        (Array.unsafe_get dst j -. (f *. Array.unsafe_get src j))
+    done
+
+  let row_div dst pv =
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set dst j (Array.unsafe_get dst j /. pv)
+    done
+
   let to_string = string_of_float
 end

@@ -9,27 +9,267 @@ type result =
   | Unbounded
   | Unknown
 
-(* Integrality tolerance: needed because the Fast solver reports dyadic
-   approximations of float values. *)
-let eps = Rat.of_ints 1 1_000_000
+type stats = { nodes : int; node_limit : int; limit_hit : bool }
+
+let default_node_limit = 50_000
+
+(* Historic integrality tolerance, kept (only) by [solve_reference]: the
+   modern path takes its tolerance from the solver's field, so the exact
+   solver snaps with a zero tolerance and rational optima are never
+   perturbed. *)
+let reference_eps = Rat.of_ints 1 1_000_000
 
 let frac_part r = Rat.sub r (Rat.of_bigint (Rat.floor r))
 
-let is_integral r =
-  let f = frac_part r in
-  Rat.leq f eps || Rat.geq f (Rat.sub Rat.one eps)
-
-let snap r =
-  (* Nearest integer, as a rational. *)
-  Rat.of_bigint (Rat.floor (Rat.add r (Rat.of_ints 1 2)))
-
 module Make (Solver : Simplex.SOLVER) = struct
-  let solve ?(node_limit = 50_000) (s : Problem.snapshot) =
+  let eps = Solver.integral_eps
+
+  let is_integral r =
+    if Rat.is_zero eps then Rat.is_integer r
+    else
+      let f = frac_part r in
+      Rat.leq f eps || Rat.geq f (Rat.sub Rat.one eps)
+
+  let snap r =
+    if Rat.is_zero eps then r
+    else Rat.of_bigint (Rat.floor (Rat.add r (Rat.of_ints 1 2)))
+
+  (* Most fractional integer variable, or [-1] if the point is integral. *)
+  let branch_var (p : Problem.snapshot) values =
+    let branch = ref (-1) in
+    let branch_score = ref Rat.zero in
+    Array.iteri
+      (fun i v ->
+        if p.Problem.integer.(i) && not (is_integral v) then begin
+          let f = frac_part v in
+          let score = Rat.min f (Rat.sub Rat.one f) in
+          if Rat.gt score !branch_score then begin
+            branch := i;
+            branch_score := score
+          end
+        end)
+      values;
+    !branch
+
+  (* Exact feasibility of a candidate point for the reduced problem. *)
+  let feasible_point (p : Problem.snapshot) values =
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        if Rat.lt v p.Problem.lb.(i) then ok := false;
+        match p.Problem.ub.(i) with
+        | Some u when Rat.gt v u -> ok := false
+        | _ -> ())
+      values;
+    !ok
+    && Array.for_all
+         (fun (expr, cmp, rhs) ->
+           let lhs = Linexpr.eval expr (fun v -> values.(v)) in
+           match cmp with
+           | Problem.Le -> Rat.leq lhs rhs
+           | Problem.Ge -> Rat.geq lhs rhs
+           | Problem.Eq -> Rat.equal lhs rhs)
+         p.Problem.constraints
+
+  (* Open node: a box, keyed by the parent's LP objective. *)
+  type node = { bound : Rat.t; seq : int; lb : Rat.t array; ub : Rat.t option array }
+
+  let node_cmp a b =
+    let c = Rat.compare a.bound b.bound in
+    if c <> 0 then c else compare b.seq a.seq (* newest first among ties *)
+
+  let solve_with_stats ?(node_limit = default_node_limit) ?cutoff ?(jobs = 1)
+      (s : Problem.snapshot) =
+    let finished nodes limit_hit = { nodes; node_limit; limit_hit } in
+    match Presolve.run s with
+    | Presolve.Infeasible -> (Infeasible, finished 0 false)
+    | Presolve.Solved { values } ->
+        let objective = Linexpr.eval s.Problem.objective (fun v -> values.(v)) in
+        let ok = match cutoff with None -> true | Some c -> Rat.lt objective c in
+        if ok then (Optimal { objective; values }, finished 0 false)
+        else (Infeasible, finished 0 false)
+    | Presolve.Reduced { problem = p; restore } ->
+        let jobs = max 1 jobs in
+        (* The cutoff lives in the original objective space; fixed
+           variables contribute a constant the reduced objective lacks. *)
+        let kappa =
+          Linexpr.eval s.Problem.objective (fun v ->
+              (restore (Array.make p.Problem.n Rat.zero)).(v))
+        in
+        let cutoff = Option.map (fun c -> Rat.sub c kappa) cutoff in
+        let nodes = ref 0 in
+        let limit_hit = ref false in
+        let unbounded = ref false in
+        let best : (Rat.t * Rat.t array) option ref = ref None in
+        let current_cut () =
+          match (!best, cutoff) with
+          | Some (b, _), Some c -> Some (Rat.min b c)
+          | Some (b, _), None -> Some b
+          | None, c -> c
+        in
+        let dominated obj =
+          match current_cut () with Some c -> Rat.geq obj c | None -> false
+        in
+        let offer values =
+          let snapped =
+            Array.mapi
+              (fun i v -> if p.Problem.integer.(i) then snap v else v)
+              values
+          in
+          let obj = Linexpr.eval p.Problem.objective (fun v -> snapped.(v)) in
+          if not (dominated obj) then best := Some (obj, snapped)
+        in
+        (* Candidate incumbents from the root relaxation: nearest-integer
+           and ceiling roundings of the integer variables, admitted only
+           when exactly feasible. Covering-style programs (the gadget
+           ILPs) usually accept the ceiling one, which gives the
+           best-first search a pruning bound from node one. *)
+        let seed_incumbent values =
+          let clamp i v =
+            let v = Rat.max v p.Problem.lb.(i) in
+            match p.Problem.ub.(i) with Some u -> Rat.min v u | None -> v
+          in
+          let candidate round =
+            Array.mapi
+              (fun i v -> if p.Problem.integer.(i) then clamp i (round v) else v)
+              values
+          in
+          List.iter
+            (fun cand -> if feasible_point p cand then offer cand)
+            [
+              candidate (fun v -> Rat.of_bigint (Rat.floor (Rat.add v (Rat.of_ints 1 2))));
+              candidate (fun v -> Rat.of_bigint (Rat.ceil v));
+            ]
+        in
+        (* One lazily-created warm solver state per worker slot; a slot
+           is used by at most one domain per round, and rounds are
+           separated by joins. *)
+        let states = Array.make jobs None in
+        let node_solve slot ~lb ~ub =
+          (match states.(slot) with
+          | None -> states.(slot) <- Some (Solver.warm_create p)
+          | Some _ -> ());
+          match states.(slot) with
+          | Some (Some w) -> Solver.warm_solve w ~lb ~ub
+          | _ -> Solver.solve (Problem.with_bounds p ~lb ~ub)
+        in
+        let pq = Svutil.Pq.create ~cmp:node_cmp in
+        let seq = ref 0 in
+        let push_children parent_obj lb ub values =
+          let i = branch_var p values in
+          if i < 0 then offer values
+          else begin
+            let fl = Rat.of_bigint (Rat.floor values.(i)) in
+            let ub1 = Array.copy ub in
+            ub1.(i) <-
+              (match ub.(i) with
+              | None -> Some fl
+              | Some u -> Some (Rat.min u fl));
+            incr seq;
+            Svutil.Pq.push pq { bound = parent_obj; seq = !seq; lb = Array.copy lb; ub = ub1 };
+            let lb2 = Array.copy lb in
+            lb2.(i) <- Rat.max lb.(i) (Rat.add fl Rat.one);
+            incr seq;
+            Svutil.Pq.push pq { bound = parent_obj; seq = !seq; lb = lb2; ub = Array.copy ub }
+          end
+        in
+        let process res (nd_lb, nd_ub) =
+          match res with
+          | Simplex.Infeasible -> ()
+          | Simplex.Unbounded -> unbounded := true
+          | Simplex.Optimal { objective; values } ->
+              if not (dominated objective) then
+                push_children objective nd_lb nd_ub values
+        in
+        (* Root node: [warm_create] already solved it, so reuse its
+           optimum rather than reoptimizing under unchanged bounds. *)
+        incr nodes;
+        states.(0) <- Some (Solver.warm_create p);
+        let root_result =
+          match states.(0) with
+          | Some (Some w) -> Solver.warm_root w
+          | _ -> Solver.solve p
+        in
+        (match root_result with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded -> unbounded := true
+        | Simplex.Optimal { objective; values } ->
+            if not (dominated objective) then begin
+              seed_incumbent values;
+              push_children objective p.Problem.lb p.Problem.ub values
+            end);
+        (* Best-first loop, evaluating up to [jobs] open nodes per round. *)
+        let continue_ = ref true in
+        while !continue_ && not !unbounded && not (Svutil.Pq.is_empty pq) do
+          (* The queue is ordered by bound: once the top is dominated,
+             everything is, and the incumbent is proven optimal. *)
+          (match (Svutil.Pq.peek pq, current_cut ()) with
+          | Some top, Some c when Rat.geq top.bound c -> Svutil.Pq.clear pq
+          | _ -> ());
+          if Svutil.Pq.is_empty pq then continue_ := false
+          else if !nodes >= node_limit then begin
+            limit_hit := true;
+            continue_ := false
+          end
+          else begin
+            let batch_size = min jobs (node_limit - !nodes) in
+            let batch = ref [] in
+            while List.length !batch < batch_size && not (Svutil.Pq.is_empty pq) do
+              match Svutil.Pq.pop pq with
+              | Some nd -> batch := nd :: !batch
+              | None -> ()
+            done;
+            let batch = List.rev !batch in
+            nodes := !nodes + List.length batch;
+            let results =
+              Svutil.Par.map ~jobs
+                (fun (slot, nd) -> node_solve slot ~lb:nd.lb ~ub:nd.ub)
+                (List.mapi (fun slot nd -> (slot, nd)) batch)
+            in
+            List.iter2 (fun nd res -> process res (nd.lb, nd.ub)) batch results
+          end
+        done;
+        Log.debug (fun m ->
+            m "explored %d nodes (limit %d, %d vars)%s" !nodes node_limit
+              s.Problem.n
+              (match !best with
+              | Some (obj, _) -> " incumbent " ^ Rat.to_string obj
+              | None -> ""));
+        let stats = finished !nodes !limit_hit in
+        if !unbounded then (Unbounded, stats)
+        else
+          let restore_result values =
+            let full = restore values in
+            let objective = Linexpr.eval s.Problem.objective (fun v -> full.(v)) in
+            (objective, full)
+          in
+          (match (!best, !limit_hit) with
+          | Some (_, values), false ->
+              let objective, values = restore_result values in
+              (Optimal { objective; values }, stats)
+          | Some (_, values), true ->
+              let objective, values = restore_result values in
+              (Feasible { objective; values }, stats)
+          | None, true -> (Unknown, stats)
+          | None, false -> (Infeasible, stats))
+
+  let solve ?node_limit ?cutoff ?jobs s =
+    fst (solve_with_stats ?node_limit ?cutoff ?jobs s)
+
+  (* The pre-overhaul recursive depth-first solver, verbatim: cold LP
+     solve per node, fixed 1e-6 snapping tolerance. Kept as the oracle
+     for the differential test suite — presolve, warm starts, best-first
+     search, and the parallel pool must change time, never answers. *)
+  let solve_reference ?(node_limit = default_node_limit) (s : Problem.snapshot) =
+    let is_integral r =
+      let f = frac_part r in
+      Rat.leq f reference_eps || Rat.geq f (Rat.sub Rat.one reference_eps)
+    in
+    let snap r = Rat.of_bigint (Rat.floor (Rat.add r (Rat.of_ints 1 2))) in
     let best : (Rat.t * Rat.t array) option ref = ref None in
     let nodes = ref 0 in
     let limit_hit = ref false in
     let unbounded = ref false in
-    (* Depth-first search over bound refinements. *)
     let rec go lb ub =
       if !unbounded then ()
       else if !nodes >= node_limit then limit_hit := true
@@ -43,8 +283,6 @@ module Make (Solver : Simplex.SOLVER) = struct
               match !best with Some (b, _) -> Rat.geq objective b | None -> false
             in
             if not dominated then begin
-              (* Pick the integer variable whose value is farthest from
-                 integral (most fractional). *)
               let branch = ref (-1) in
               let branch_score = ref Rat.zero in
               Array.iteri
@@ -59,7 +297,6 @@ module Make (Solver : Simplex.SOLVER) = struct
                   end)
                 values;
               if !branch < 0 then begin
-                (* Integral: snap integer variables and record incumbent. *)
                 let snapped =
                   Array.mapi
                     (fun i v -> if s.Problem.integer.(i) then snap v else v)
@@ -73,7 +310,6 @@ module Make (Solver : Simplex.SOLVER) = struct
               else begin
                 let i = !branch in
                 let fl = Rat.of_bigint (Rat.floor values.(i)) in
-                (* Floor side first. *)
                 let ub1 = Array.copy ub in
                 ub1.(i) <-
                   (match ub.(i) with
@@ -88,11 +324,6 @@ module Make (Solver : Simplex.SOLVER) = struct
       end
     in
     go (Array.copy s.Problem.lb) (Array.copy s.Problem.ub);
-    Log.debug (fun m ->
-        m "explored %d nodes (limit %d, %d vars)%s" !nodes node_limit s.Problem.n
-          (match !best with
-          | Some (obj, _) -> " incumbent " ^ Rat.to_string obj
-          | None -> ""));
     if !unbounded then Unbounded
     else
       match (!best, !limit_hit) with

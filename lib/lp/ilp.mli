@@ -2,7 +2,16 @@
 
     Used to compute certified optima of the paper's integer programs
     (Figure 3 and the set-constraint / privatization IPs), which are the
-    baselines against which the approximation algorithms are measured. *)
+    baselines against which the approximation algorithms are measured.
+
+    The solver presolves ({!Presolve}), then runs a best-first search
+    over an explicit priority queue ordered by LP bound. The incumbent
+    is seeded by rounding the root LP relaxation, nodes are reoptimized
+    from the parent's basis with a bounded dual-simplex pass
+    ({!Simplex.SOLVER.warm_solve}), and open nodes can be evaluated in
+    parallel ({!Svutil.Par}). None of this changes answers: optima are
+    bit-identical to the pre-overhaul depth-first solver, kept as
+    {!Make.solve_reference} for differential testing. *)
 
 type result =
   | Optimal of { objective : Rat.t; values : Rat.t array }
@@ -13,15 +22,64 @@ type result =
   | Unbounded
   | Unknown  (** Node limit reached before any incumbent was found. *)
 
+type stats = {
+  nodes : int;  (** LP relaxations solved (0 when presolve decided alone) *)
+  node_limit : int;
+  limit_hit : bool;
+}
+
+val default_node_limit : int
+(** 50_000 LP relaxation solves. *)
+
 module Make (_ : Simplex.SOLVER) : sig
-  val solve : ?node_limit:int -> Problem.snapshot -> result
-  (** [node_limit] defaults to 50_000 LP relaxation solves. *)
+  val solve :
+    ?node_limit:int -> ?cutoff:Rat.t -> ?jobs:int -> Problem.snapshot -> result
+  (** [node_limit] defaults to {!default_node_limit}. [cutoff] prunes
+      the search to solutions with objective strictly below it: when the
+      search completes without finding one, the result is [Infeasible],
+      meaning "nothing better than the cutoff exists" — callers holding
+      a feasible solution at exactly the cutoff may conclude it is
+      optimal. [jobs] evaluates up to that many open nodes concurrently
+      per round (real parallelism only when {!Svutil.Par.available});
+      the reported optimum does not depend on it. *)
+
+  val solve_with_stats :
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    Problem.snapshot ->
+    result * stats
+
+  val solve_reference : ?node_limit:int -> Problem.snapshot -> result
+  (** The pre-overhaul recursive depth-first solver (cold LP solve per
+      node, fixed [1e-6] snapping tolerance), kept as the oracle for
+      differential tests. *)
 end
 
 module Exact : sig
-  val solve : ?node_limit:int -> Problem.snapshot -> result
+  val solve :
+    ?node_limit:int -> ?cutoff:Rat.t -> ?jobs:int -> Problem.snapshot -> result
+
+  val solve_with_stats :
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    Problem.snapshot ->
+    result * stats
+
+  val solve_reference : ?node_limit:int -> Problem.snapshot -> result
 end
 
 module Fast : sig
-  val solve : ?node_limit:int -> Problem.snapshot -> result
+  val solve :
+    ?node_limit:int -> ?cutoff:Rat.t -> ?jobs:int -> Problem.snapshot -> result
+
+  val solve_with_stats :
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    Problem.snapshot ->
+    result * stats
+
+  val solve_reference : ?node_limit:int -> Problem.snapshot -> result
 end

@@ -4,7 +4,14 @@ type result =
   | Unbounded
 
 module type SOLVER = sig
+  val integral_eps : Rat.t
   val solve : Problem.snapshot -> result
+
+  type warm
+
+  val warm_create : Problem.snapshot -> warm option
+  val warm_root : warm -> result
+  val warm_solve : warm -> lb:Rat.t array -> ub:Rat.t option array -> result
 end
 
 let src = Logs.Src.create "secure_view.simplex" ~doc:"Two-phase simplex solver"
@@ -13,6 +20,21 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 module Make (F : Field.S) : SOLVER = struct
   let iteration_limit = 200_000
+
+  (* A warm reoptimization is supposed to be a handful of pivots; past
+     this budget the caller falls back to a cold two-phase solve. *)
+  let dual_iteration_limit = 2_000
+
+  (* Pivot selection is Dantzig (steepest reduced cost) until a streak
+     of degenerate pivots this long, then Bland until the next
+     improving step; any cycle is all-degenerate, so this terminates. *)
+  let degenerate_streak_limit = 40
+
+  (* Under the float field the warm tableau accumulates rounding drift;
+     rebuild it from the pristine copy periodically. *)
+  let rebuild_period = 256
+
+  let integral_eps = if F.exact then Rat.zero else Rat.of_ints 1 1_000_000
 
   let lt a b = F.compare a b < 0
   let gt a b = F.compare a b > 0
@@ -28,32 +50,35 @@ module Make (F : Field.S) : SOLVER = struct
     basis : int array;
   }
 
+  (* Row elimination goes through the field's [row_axpy]/[row_div]
+     kernels: the float instance runs monomorphic unboxed loops, the
+     exact instance skips zero entries so every skipped multiply is a
+     skipped bignum allocation. *)
   let pivot t ~rc ~row ~col =
     let m = Array.length t.b in
-    let pv = t.a.(row).(col) in
-    (* Normalize the pivot row. *)
-    for j = 0 to t.ncols - 1 do
-      t.a.(row).(j) <- F.div t.a.(row).(j) pv
-    done;
-    t.b.(row) <- F.div t.b.(row) pv;
-    (* Eliminate the pivot column from the other rows. *)
+    let arow = t.a.(row) in
+    let pv = arow.(col) in
+    if F.compare pv F.one <> 0 then begin
+      F.row_div arow pv;
+      t.b.(row) <- F.div t.b.(row) pv
+    end;
+    arow.(col) <- F.one;
     for i = 0 to m - 1 do
       if i <> row then begin
-        let f = t.a.(i).(col) in
+        let ai = t.a.(i) in
+        let f = ai.(col) in
         if not (F.is_zero f) then begin
-          for j = 0 to t.ncols - 1 do
-            t.a.(i).(j) <- F.sub t.a.(i).(j) (F.mul f t.a.(row).(j))
-          done;
+          F.row_axpy f arow ai;
+          ai.(col) <- F.zero;
           t.b.(i) <- F.sub t.b.(i) (F.mul f t.b.(row))
         end
       end
     done;
-    (* And from the reduced-cost row. *)
     let f = rc.(col) in
-    if not (F.is_zero f) then
-      for j = 0 to t.ncols - 1 do
-        rc.(j) <- F.sub rc.(j) (F.mul f t.a.(row).(j))
-      done;
+    if not (F.is_zero f) then begin
+      F.row_axpy f arow rc;
+      rc.(col) <- F.zero
+    end;
     t.basis.(row) <- col
 
   (* Reduced costs of [cost] under the current basis. *)
@@ -62,10 +87,7 @@ module Make (F : Field.S) : SOLVER = struct
     let rc = Array.copy cost in
     for i = 0 to m - 1 do
       let cb = cost.(t.basis.(i)) in
-      if not (F.is_zero cb) then
-        for j = 0 to t.ncols - 1 do
-          rc.(j) <- F.sub rc.(j) (F.mul cb t.a.(i).(j))
-        done
+      if not (F.is_zero cb) then F.row_axpy cb t.a.(i) rc
     done;
     rc
 
@@ -75,22 +97,34 @@ module Make (F : Field.S) : SOLVER = struct
     !z
 
   (* Minimize [cost] over the tableau, entering only [allowed] columns.
-     Bland's rule: lowest-index entering column with negative reduced
-     cost; ties in the ratio test broken by lowest basis variable. *)
+     Dantzig's rule (most negative reduced cost) with a Bland fallback
+     during long degenerate streaks for anti-cycling; ties in the ratio
+     test broken by lowest basis variable. *)
   let optimize t ~cost ~allowed =
     let m = Array.length t.b in
     let rc = reduced_costs t cost in
+    let degen = ref 0 in
     let rec loop iter =
       if iter > iteration_limit then failwith "Simplex: iteration limit exceeded";
       let entering = ref (-1) in
-      (try
-         for j = 0 to t.ncols - 1 do
-           if allowed j && lt rc.(j) F.zero then begin
-             entering := j;
-             raise Exit
-           end
-         done
-       with Exit -> ());
+      if !degen > degenerate_streak_limit then (
+        try
+          for j = 0 to t.ncols - 1 do
+            if allowed j && lt rc.(j) F.zero then begin
+              entering := j;
+              raise Exit
+            end
+          done
+        with Exit -> ())
+      else begin
+        let best = ref F.zero in
+        for j = 0 to t.ncols - 1 do
+          if allowed j && lt rc.(j) !best then begin
+            entering := j;
+            best := rc.(j)
+          end
+        done
+      end;
       if !entering < 0 then `Optimal
       else begin
         let col = !entering in
@@ -109,6 +143,7 @@ module Make (F : Field.S) : SOLVER = struct
         done;
         if !row < 0 then `Unbounded
         else begin
+          if F.is_zero !best then incr degen else degen := 0;
           pivot t ~rc ~row:!row ~col;
           loop (iter + 1)
         end
@@ -116,9 +151,130 @@ module Make (F : Field.S) : SOLVER = struct
     in
     loop 0
 
+  exception Bad_bounds
+
+  (* Build the initial tableau for [rows] over [n] structural variables
+     (right-hand sides already shifted). Returns the tableau, the number
+     of artificial columns, and for each row its designated unit column
+     — the column that held [e_row] at build time, i.e. the row's slack
+     when it starts basic, otherwise its artificial. Any later tableau
+     state holds [B^-1 e_row] in that column, which is what the warm
+     path needs to apply right-hand-side deltas incrementally. *)
+  let build_tableau ~n rows =
+    let m = Array.length rows in
+    let n_slack =
+      Array.fold_left
+        (fun acc (_, cmp, _) -> match cmp with Problem.Eq -> acc | _ -> acc + 1)
+        0 rows
+    in
+    let first_art = n + n_slack in
+    let a0 = Array.init m (fun _ -> Array.make first_art F.zero) in
+    let b = Array.make m F.zero in
+    let slack_of_row = Array.make m (-1) in
+    let next_slack = ref n in
+    Array.iteri
+      (fun i (expr, cmp, rhs) ->
+        List.iter (fun (v, c) -> a0.(i).(v) <- F.of_rat c) (Linexpr.to_list expr);
+        b.(i) <- F.of_rat rhs;
+        (match cmp with
+        | Problem.Le ->
+            a0.(i).(!next_slack) <- F.one;
+            slack_of_row.(i) <- !next_slack;
+            incr next_slack
+        | Problem.Ge ->
+            a0.(i).(!next_slack) <- F.neg F.one;
+            slack_of_row.(i) <- !next_slack;
+            incr next_slack
+        | Problem.Eq -> ());
+        (* Make the right-hand side non-negative. *)
+        if lt b.(i) F.zero then begin
+          for j = 0 to first_art - 1 do
+            a0.(i).(j) <- F.neg a0.(i).(j)
+          done;
+          b.(i) <- F.neg b.(i)
+        end)
+      rows;
+    (* A row whose slack has coefficient +1 can start with the slack
+       basic; every other row gets an artificial variable. *)
+    let needs_art i =
+      slack_of_row.(i) < 0 || F.compare a0.(i).(slack_of_row.(i)) F.one <> 0
+    in
+    let n_art = ref 0 in
+    for i = 0 to m - 1 do
+      if needs_art i then incr n_art
+    done;
+    let ncols = first_art + !n_art in
+    let a = Array.init m (fun i -> Array.append a0.(i) (Array.make !n_art F.zero)) in
+    let basis = Array.make m (-1) in
+    let unit_col = Array.make m (-1) in
+    let next_art = ref first_art in
+    for i = 0 to m - 1 do
+      if needs_art i then begin
+        a.(i).(!next_art) <- F.one;
+        basis.(i) <- !next_art;
+        unit_col.(i) <- !next_art;
+        incr next_art
+      end
+      else begin
+        basis.(i) <- slack_of_row.(i);
+        unit_col.(i) <- slack_of_row.(i)
+      end
+    done;
+    ({ ncols; first_art; a; b; basis }, !n_art, unit_col)
+
+  (* Phase 1 (when artificials exist), drive-out, then phase 2. *)
+  let two_phase t ~n_art ~cost2 =
+    let m = Array.length t.b in
+    if n_art > 0 then begin
+      let cost1 = Array.make t.ncols F.zero in
+      for j = t.first_art to t.ncols - 1 do
+        cost1.(j) <- F.one
+      done;
+      (match optimize t ~cost:cost1 ~allowed:(fun _ -> true) with
+      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+      | `Optimal -> ());
+      if gt (objective_value t cost1) F.zero then `Infeasible
+      else begin
+        (* Drive remaining artificials out of the basis where possible. *)
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= t.first_art then begin
+            let col = ref (-1) in
+            (try
+               for j = 0 to t.first_art - 1 do
+                 if not (F.is_zero t.a.(i).(j)) then begin
+                   col := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !col >= 0 then begin
+              let rc = Array.make t.ncols F.zero in
+              pivot t ~rc ~row:i ~col:!col
+            end
+            (* Otherwise the row is redundant; the artificial stays basic
+               at value zero and can never re-enter or change. *)
+          end
+        done;
+        optimize t ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
+      end
+    end
+    else optimize t ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
+
+  (* Read structural values off an optimal tableau (shifted by [lb0]). *)
+  let extract t ~n ~lb0 ~objective =
+    let y = Array.make n Rat.zero in
+    Array.iteri (fun i v -> if v < n then y.(v) <- F.to_rat t.b.(i)) t.basis;
+    let x = Array.init n (fun i -> Rat.add y.(i) lb0.(i)) in
+    let obj = Linexpr.eval objective (fun v -> x.(v)) in
+    Optimal { objective = obj; values = x }
+
+  let phase2_cost ~ncols objective =
+    let cost2 = Array.make ncols F.zero in
+    List.iter (fun (v, c) -> cost2.(v) <- F.of_rat c) (Linexpr.to_list objective);
+    cost2
+
   let solve (s : Problem.snapshot) =
     let n = s.n in
-    let exception Bad_bounds in
     try
       (* Shift: y_i = x_i - lb_i. *)
       let shift_rhs expr rhs =
@@ -140,118 +296,246 @@ module Make (F : Field.S) : SOLVER = struct
                    if Rat.sign d < 0 then raise Bad_bounds
                    else [ (Linexpr.term i Rat.one, Problem.Le, d) ]))
       in
-      let rows = Array.of_list (rows @ ub_rows) in
-      let m = Array.length rows in
-      (* Count slack columns. *)
-      let n_slack =
-        Array.fold_left
-          (fun acc (_, cmp, _) -> match cmp with Problem.Eq -> acc | _ -> acc + 1)
-          0 rows
-      in
-      (* Provisional layout; artificial columns are appended after we know
-         which rows need them. *)
-      let first_art = n + n_slack in
-      let a0 = Array.init m (fun _ -> Array.make first_art F.zero) in
-      let b = Array.make m F.zero in
-      let slack_of_row = Array.make m (-1) in
-      let next_slack = ref n in
-      Array.iteri
-        (fun i (expr, cmp, rhs) ->
-          List.iter (fun (v, c) -> a0.(i).(v) <- F.of_rat c) (Linexpr.to_list expr);
-          b.(i) <- F.of_rat rhs;
-          (match cmp with
-          | Problem.Le ->
-              a0.(i).(!next_slack) <- F.one;
-              slack_of_row.(i) <- !next_slack;
-              incr next_slack
-          | Problem.Ge ->
-              a0.(i).(!next_slack) <- F.neg F.one;
-              slack_of_row.(i) <- !next_slack;
-              incr next_slack
-          | Problem.Eq -> ());
-          (* Make the right-hand side non-negative. *)
-          if lt b.(i) F.zero then begin
-            for j = 0 to first_art - 1 do
-              a0.(i).(j) <- F.neg a0.(i).(j)
-            done;
-            b.(i) <- F.neg b.(i)
-          end)
-        rows;
-      (* A row whose slack has coefficient +1 can start with the slack
-         basic; every other row gets an artificial variable. *)
-      let needs_art i =
-        slack_of_row.(i) < 0 || F.compare a0.(i).(slack_of_row.(i)) F.one <> 0
-      in
-      let n_art = ref 0 in
-      for i = 0 to m - 1 do
-        if needs_art i then incr n_art
-      done;
-      let ncols = first_art + !n_art in
-      let a = Array.init m (fun i -> Array.append a0.(i) (Array.make !n_art F.zero)) in
-      let basis = Array.make m (-1) in
-      let next_art = ref first_art in
-      for i = 0 to m - 1 do
-        if needs_art i then begin
-          a.(i).(!next_art) <- F.one;
-          basis.(i) <- !next_art;
-          incr next_art
-        end
-        else basis.(i) <- slack_of_row.(i)
-      done;
-      let t = { ncols; first_art; a; b; basis } in
-      (* Phase 1: minimize the sum of artificials. *)
-      if !n_art > 0 then begin
-        let cost1 = Array.make ncols F.zero in
-        for j = first_art to ncols - 1 do
-          cost1.(j) <- F.one
-        done;
-        (match optimize t ~cost:cost1 ~allowed:(fun _ -> true) with
-        | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-        | `Optimal -> ());
-        if gt (objective_value t cost1) F.zero then raise Exit;
-        (* Drive remaining artificials out of the basis where possible. *)
-        for i = 0 to m - 1 do
-          if t.basis.(i) >= first_art then begin
-            let col = ref (-1) in
-            (try
-               for j = 0 to first_art - 1 do
-                 if not (F.is_zero t.a.(i).(j)) then begin
-                   col := j;
-                   raise Exit
-                 end
-               done
-             with Exit -> ());
-            if !col >= 0 then begin
-              let rc = Array.make ncols F.zero in
-              pivot t ~rc ~row:i ~col:!col
-            end
-            (* Otherwise the row is redundant; the artificial stays basic
-               at value zero and can never re-enter or change. *)
-          end
-        done
-      end;
-      (* Phase 2: minimize the real objective; artificials barred. *)
-      let cost2 = Array.make ncols F.zero in
-      List.iter
-        (fun (v, c) -> cost2.(v) <- F.of_rat c)
-        (Linexpr.to_list s.objective);
-      let allowed j = j < first_art in
-      match optimize t ~cost:cost2 ~allowed with
+      let t, n_art, _unit_col = build_tableau ~n (Array.of_list (rows @ ub_rows)) in
+      let cost2 = phase2_cost ~ncols:t.ncols s.objective in
+      match two_phase t ~n_art ~cost2 with
+      | `Infeasible ->
+          Log.debug (fun f -> f "infeasible (%d cols)" t.ncols);
+          Infeasible
       | `Unbounded ->
-          Log.debug (fun f -> f "unbounded (%d rows, %d cols)" m ncols);
+          Log.debug (fun f -> f "unbounded (%d cols)" t.ncols);
           Unbounded
       | `Optimal ->
-          Log.debug (fun f -> f "optimal (%d rows, %d cols)" m ncols);
-          let y = Array.make n Rat.zero in
-          Array.iteri
-            (fun i v -> if v < n then y.(v) <- F.to_rat t.b.(i))
-            t.basis;
-          let x = Array.init n (fun i -> Rat.add y.(i) s.lb.(i)) in
-          let objective = Linexpr.eval s.objective (fun v -> x.(v)) in
-          Optimal { objective; values = x }
-    with
-    | Bad_bounds -> Infeasible
-    | Exit -> Infeasible
+          Log.debug (fun f -> f "optimal (%d cols)" t.ncols);
+          extract t ~n ~lb0:s.lb ~objective:s.objective
+    with Bad_bounds -> Infeasible
+
+  (* {2 Warm-started reoptimization}
+
+     A branch-and-bound node differs from its parent only in the bounds
+     of integer variables. With those bounds carried as explicit rows
+     (one <=-row for the upper bound, one for the negated lower bound),
+     a bound change is a pure right-hand-side change: the basis stays
+     dual feasible and a short dual-simplex pass restores primal
+     feasibility, instead of a full two-phase solve per node. *)
+
+  type warm = {
+    prob : Problem.snapshot;
+    lb0 : Rat.t array;  (** root lower bounds: the tableau's shift *)
+    t : tableau;
+    cost2 : F.t array;
+    unit_col : int array;
+    b0 : F.t array;  (** right-hand side currently applied, per row *)
+    lb_row : int array;  (** row carrying var i's lower bound, or -1 *)
+    ub_row : int array;
+    (* Pristine post-build state, for drift-shedding rebuilds under the
+       float field. *)
+    a_init : F.t array array;
+    b_init : F.t array;
+    basis_init : int array;
+    root : result;  (** the root optimum found at creation time *)
+    mutable solves : int;
+    mutable ok : bool;  (** false: give up on warm starts, always cold-solve *)
+  }
+
+  let warm_create (s : Problem.snapshot) =
+    let n = s.n in
+    let need_pair = Array.init n (fun i -> s.integer.(i)) in
+    let missing_ub =
+      Array.exists (fun i -> i) (Array.init n (fun i -> need_pair.(i) && s.ub.(i) = None))
+    in
+    if missing_ub then None
+    else
+      try
+        let lb0 = Array.copy s.lb in
+        let shift_rhs expr rhs =
+          Rat.sub rhs
+            (Rat.sum (List.map (fun (v, c) -> Rat.mul c lb0.(v)) (Linexpr.to_list expr)))
+        in
+        let base_rows =
+          Array.to_list s.constraints
+          |> List.map (fun (expr, cmp, rhs) -> (expr, cmp, shift_rhs expr rhs))
+        in
+        let m0 = List.length base_rows in
+        let lb_row = Array.make n (-1) in
+        let ub_row = Array.make n (-1) in
+        let extra = ref [] in
+        let next = ref m0 in
+        for i = 0 to n - 1 do
+          if need_pair.(i) then begin
+            let u = match s.ub.(i) with Some u -> u | None -> assert false in
+            let d = Rat.sub u lb0.(i) in
+            if Rat.sign d < 0 then raise Bad_bounds;
+            extra := (Linexpr.term i Rat.one, Problem.Le, d) :: !extra;
+            ub_row.(i) <- !next;
+            incr next;
+            (* -y_i <= -(lb_i - lb0_i): rhs 0 at the root, tightened later. *)
+            extra := (Linexpr.term i Rat.minus_one, Problem.Le, Rat.zero) :: !extra;
+            lb_row.(i) <- !next;
+            incr next
+          end
+          else
+            match s.ub.(i) with
+            | None -> ()
+            | Some u ->
+                let d = Rat.sub u lb0.(i) in
+                if Rat.sign d < 0 then raise Bad_bounds;
+                extra := (Linexpr.term i Rat.one, Problem.Le, d) :: !extra;
+                incr next
+        done;
+        let rows = Array.of_list (base_rows @ List.rev !extra) in
+        let t, n_art, unit_col = build_tableau ~n rows in
+        let b0 = Array.copy t.b in
+        let a_init = Array.map Array.copy t.a in
+        let b_init = Array.copy t.b in
+        let basis_init = Array.copy t.basis in
+        let cost2 = phase2_cost ~ncols:t.ncols s.objective in
+        match two_phase t ~n_art ~cost2 with
+        | `Infeasible | `Unbounded -> None
+        | `Optimal ->
+            Some
+              {
+                prob = s;
+                lb0;
+                t;
+                cost2;
+                unit_col;
+                b0;
+                lb_row;
+                ub_row;
+                a_init;
+                b_init;
+                basis_init;
+                root = extract t ~n ~lb0 ~objective:s.objective;
+                solves = 0;
+                ok = true;
+              }
+      with Bad_bounds -> None
+
+  let warm_root w = w.root
+
+  (* Reset the live tableau to its pristine post-build state and re-run
+     the two-phase solve at root bounds, shedding accumulated float
+     error. *)
+  let rebuild w =
+    let t = w.t in
+    let m = Array.length t.b in
+    for i = 0 to m - 1 do
+      Array.blit w.a_init.(i) 0 t.a.(i) 0 t.ncols
+    done;
+    Array.blit w.b_init 0 t.b 0 m;
+    Array.blit w.basis_init 0 t.basis 0 m;
+    Array.blit w.b_init 0 w.b0 0 m;
+    let n_art = t.ncols - t.first_art in
+    match two_phase t ~n_art ~cost2:w.cost2 with
+    | `Optimal -> true
+    | `Infeasible | `Unbounded -> false
+
+  exception Not_applicable
+
+  (* Apply the node's integer-variable bounds as right-hand-side deltas.
+     The tableau column [unit_col.(r)] holds [B^-1 e_r], so a delta [d]
+     on row [r]'s original rhs moves the current basic solution by
+     [d * column]. *)
+  let apply_bounds w ~lb ~ub =
+    let t = w.t in
+    let m = Array.length t.b in
+    let apply r rhs =
+      let rhs = F.of_rat rhs in
+      if F.compare rhs w.b0.(r) <> 0 then begin
+        let d = F.sub rhs w.b0.(r) in
+        let c = w.unit_col.(r) in
+        for k = 0 to m - 1 do
+          let v = t.a.(k).(c) in
+          if not (F.is_zero v) then t.b.(k) <- F.add t.b.(k) (F.mul d v)
+        done;
+        w.b0.(r) <- rhs
+      end
+    in
+    for i = 0 to w.prob.Problem.n - 1 do
+      if w.ub_row.(i) >= 0 then begin
+        (match ub.(i) with
+        | None -> raise Not_applicable
+        | Some u -> apply w.ub_row.(i) (Rat.sub u w.lb0.(i)));
+        apply w.lb_row.(i) (Rat.neg (Rat.sub lb.(i) w.lb0.(i)))
+      end
+    done
+
+  (* Bounded dual simplex (Bland's rule in the dual), then a primal
+     cleanup pass for any float drift in the reduced costs. *)
+  let reoptimize w =
+    let t = w.t in
+    let m = Array.length t.b in
+    let rc = reduced_costs t w.cost2 in
+    let rec dual iter =
+      if iter > dual_iteration_limit then `Fail
+      else begin
+        let row = ref (-1) in
+        for i = 0 to m - 1 do
+          if lt t.b.(i) F.zero && (!row < 0 || t.basis.(i) < t.basis.(!row)) then
+            row := i
+        done;
+        if !row < 0 then `Primal_feasible
+        else begin
+          let arow = t.a.(!row) in
+          let col = ref (-1) in
+          let best = ref F.zero in
+          for j = 0 to t.first_art - 1 do
+            let arj = arow.(j) in
+            if lt arj F.zero then begin
+              let ratio = F.div rc.(j) (F.neg arj) in
+              if !col < 0 || lt ratio !best then begin
+                col := j;
+                best := ratio
+              end
+            end
+          done;
+          if !col < 0 then `Infeasible
+          else begin
+            pivot t ~rc ~row:!row ~col:!col;
+            dual (iter + 1)
+          end
+        end
+      end
+    in
+    match dual 0 with
+    | `Fail -> `Fail
+    | `Infeasible -> `Infeasible
+    | `Primal_feasible -> (
+        match optimize t ~cost:w.cost2 ~allowed:(fun j -> j < t.first_art) with
+        | `Optimal -> `Optimal
+        | `Unbounded ->
+            (* Nodes of a bounded root can't be unbounded; treat as a
+               numerical failure and let the cold solver decide. *)
+            `Fail)
+
+  let warm_solve w ~lb ~ub =
+    let cold () = solve (Problem.with_bounds w.prob ~lb ~ub) in
+    if not w.ok then cold ()
+    else begin
+      w.solves <- w.solves + 1;
+      if (not F.exact) && w.solves mod rebuild_period = 0 && not (rebuild w) then begin
+        w.ok <- false;
+        cold ()
+      end
+      else
+        match apply_bounds w ~lb ~ub with
+        | exception Not_applicable ->
+            w.ok <- false;
+            cold ()
+        | () -> (
+            match reoptimize w with
+            | `Optimal ->
+                extract w.t ~n:w.prob.Problem.n ~lb0:w.lb0
+                  ~objective:w.prob.Problem.objective
+            | `Infeasible -> Infeasible
+            | `Fail ->
+                Log.debug (fun f -> f "warm reoptimize failed; cold fallback");
+                (* The partially-pivoted tableau is still a consistent
+                   basis for the applied bounds, so later warm solves can
+                   continue from it. *)
+                cold ())
+    end
 end
 
 module Exact = Make (Field.Rat_field)

@@ -1,4 +1,4 @@
-(** Two-phase primal simplex with Bland's anti-cycling rule.
+(** Two-phase primal simplex with warm-started dual reoptimization.
 
     The solver is generic over the scalar {!Field.S}: {!Exact} runs over
     exact rationals and is the reference used by the paper-faithful
@@ -6,6 +6,11 @@
     is used for larger benchmark sweeps. Both report results as exact
     rationals ({!Field.Float_field.to_rat} introduces a dyadic
     approximation in the fast instance).
+
+    Pivot selection is Dantzig's rule with a Bland fallback during
+    degenerate streaks (anti-cycling), and the inner pivot loops skip
+    zero entries — a large constant-factor win for the sparse gadget
+    programs under exact rational arithmetic.
 
     Integrality marks on variables are ignored here — this solves the
     continuous relaxation. Use {!Ilp} for integer programs. *)
@@ -16,7 +21,39 @@ type result =
   | Unbounded
 
 module type SOLVER = sig
+  val integral_eps : Rat.t
+  (** Integrality tolerance appropriate for this solver's scalar field:
+      zero for exact rationals (optima are never perturbed by snapping),
+      [1e-6] for floats. *)
+
   val solve : Problem.snapshot -> result
+  (** Cold two-phase solve. *)
+
+  type warm
+  (** Reusable solver state for a fixed constraint matrix: only the
+      bounds of integer-marked variables may change between calls.
+      Bounds are carried as explicit rows, so a branch-and-bound bound
+      change is a pure right-hand-side change and the parent's optimal
+      basis stays dual feasible — each node costs a short dual-simplex
+      pass instead of a full two-phase solve. *)
+
+  val warm_create : Problem.snapshot -> warm option
+  (** Builds warm state and solves the root. [None] when the problem is
+      not warmable (an integer variable without a finite upper bound,
+      or a root that is not primal-feasible and bounded) — callers fall
+      back to {!solve}. *)
+
+  val warm_root : warm -> result
+  (** The root optimum computed by {!warm_create}, at no extra cost —
+      callers should use it for the root node instead of a redundant
+      {!warm_solve} at root bounds. *)
+
+  val warm_solve : warm -> lb:Rat.t array -> ub:Rat.t option array -> result
+  (** Reoptimize under new bounds for the integer-marked variables
+      (bounds of other variables must equal the root's). Falls back to a
+      cold {!solve} internally if the bounded dual pass fails, so the
+      result is always as definitive as {!solve}'s. Not thread-safe:
+      a [warm] value must be used by one domain at a time. *)
 end
 
 module Make (_ : Field.S) : SOLVER

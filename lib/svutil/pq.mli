@@ -1,0 +1,19 @@
+(** Mutable binary min-heap priority queue.
+
+    Ordering is supplied at creation time; [pop] returns the smallest
+    element under that ordering. Used by the best-first branch-and-bound
+    loop in the LP layer, where elements are open nodes keyed by their
+    parent LP bound. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -255,6 +255,49 @@ let test_ilp_node_limit () =
   | Lp.Ilp.Feasible _ | Lp.Ilp.Unknown -> ()
   | Lp.Ilp.Infeasible | Lp.Ilp.Unbounded -> Alcotest.fail "feasible and bounded"
 
+let test_exact_zero_tolerance () =
+  (* Regression: the historic solver snapped near-integral values with a
+     1e-6 tolerance even under exact arithmetic. Maximizing an integer x
+     with ub = 1 - 1e-7 has true optimum x = 0; snapping x to 1 reports
+     an objective of -1 at an infeasible point. The reference solver
+     keeps the bug (it is the before/after oracle); the exact solver
+     must not. *)
+  let s =
+    build
+      ~vars:[ ivar ~ub:(Q.sub Q.one (Q.of_ints 1 10_000_000)) "x" ]
+      ~constraints:[] ~objective:[ (0, Q.minus_one) ]
+  in
+  (match Lp.Ilp.Exact.solve s with
+  | Lp.Ilp.Optimal { objective; values } ->
+      check_q "exact optimum" Q.zero objective;
+      check_q "exact point" Q.zero values.(0)
+  | _ -> Alcotest.fail "expected optimal");
+  match Lp.Ilp.Exact.solve_reference s with
+  | Lp.Ilp.Optimal { objective; _ } ->
+      check_q "reference keeps the historic snapping bug" Q.minus_one objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_presolve_empty_rows () =
+  (* Regression: term-less rows have no variable for the change-tracking
+     pass to re-examine them through; they must still be checked. *)
+  let infeasible =
+    build ~vars:[ cvar ~ub:Q.one "x" ]
+      ~constraints:[ ([], P.Le, Q.minus_one) ]
+      ~objective:[ (0, Q.one) ]
+  in
+  (match Lp.Presolve.run infeasible with
+  | Lp.Presolve.Infeasible -> ()
+  | _ -> Alcotest.fail "0 <= -1 must be infeasible");
+  let redundant =
+    build
+      ~vars:[ ivar ~ub:Q.one "x" ]
+      ~constraints:[ ([], P.Le, Q.one); ([ (0, Q.one) ], P.Ge, Q.one) ]
+      ~objective:[ (0, Q.one) ]
+  in
+  match Lp.Presolve.run redundant with
+  | Lp.Presolve.Solved { values } -> check_q "x pinned to 1" Q.one values.(0)
+  | _ -> Alcotest.fail "expected solved outright"
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -330,6 +373,43 @@ let props =
         | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b ->
             Q.equal (Q.mul (Q.of_int 3) a.objective) b.objective
         | _ -> false);
+    prop "presolve never changes the lp optimum" gen_bounded_lp (fun s ->
+        match
+          (Lp.Simplex.Exact.solve s, Lp.Presolve.solve_lp (module Lp.Simplex.Exact) s)
+        with
+        | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b -> Q.equal a.objective b.objective
+        | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible -> true
+        | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded -> true
+        | _ -> false);
+    prop "overhauled ilp agrees with the reference solver" gen_bounded_lp (fun s ->
+        (* The pre-overhaul depth-first solver is kept verbatim as
+           [solve_reference]; presolve, warm starts, best-first search
+           and seeding must change time, never answers. *)
+        let s' = P.all_integer s in
+        match (Lp.Ilp.Exact.solve s', Lp.Ilp.Exact.solve_reference s') with
+        | Lp.Ilp.Optimal a, Lp.Ilp.Optimal b -> Q.equal a.objective b.objective
+        | Lp.Ilp.Infeasible, Lp.Ilp.Infeasible -> true
+        | Lp.Ilp.Unbounded, Lp.Ilp.Unbounded -> true
+        | _ -> false);
+    prop "parallel node pool matches sequential search" gen_bounded_lp (fun s ->
+        let s' = P.all_integer s in
+        match (Lp.Ilp.Exact.solve ~jobs:1 s', Lp.Ilp.Exact.solve ~jobs:3 s') with
+        | Lp.Ilp.Optimal a, Lp.Ilp.Optimal b -> Q.equal a.objective b.objective
+        | Lp.Ilp.Infeasible, Lp.Ilp.Infeasible -> true
+        | Lp.Ilp.Unbounded, Lp.Ilp.Unbounded -> true
+        | _ -> false);
+    prop "cutoff semantics: above keeps the optimum, at prunes everything"
+      gen_bounded_lp (fun s ->
+        let s' = P.all_integer s in
+        match Lp.Ilp.Exact.solve s' with
+        | Lp.Ilp.Optimal { objective; _ } ->
+            (match Lp.Ilp.Exact.solve ~cutoff:(Q.add objective Q.one) s' with
+            | Lp.Ilp.Optimal { objective = o; _ } -> Q.equal o objective
+            | _ -> false)
+            && (match Lp.Ilp.Exact.solve ~cutoff:objective s' with
+               | Lp.Ilp.Infeasible -> true
+               | _ -> false)
+        | _ -> true);
     prop "ilp matches brute force on binary programs" gen_bounded_lp (fun s ->
         (* Restrict to 0/1 variables and check against enumeration. *)
         let n = s.P.n in
@@ -365,6 +445,8 @@ let () =
           Alcotest.test_case "lp feasible, ip infeasible" `Quick test_ilp_lp_feasible_ip_infeasible;
           Alcotest.test_case "mixed integer" `Quick test_ilp_mixed;
           Alcotest.test_case "node limit" `Quick test_ilp_node_limit;
+          Alcotest.test_case "exact zero tolerance" `Quick test_exact_zero_tolerance;
+          Alcotest.test_case "presolve empty rows" `Quick test_presolve_empty_rows;
         ] );
       ( "modeling",
         [

@@ -134,7 +134,42 @@ let props =
     prop "shuffle preserves multiset" QCheck2.Gen.(pair (int_range 0 10000) (list small_int))
       (fun (seed, xs) ->
         List.sort compare (Rng.shuffle (Rng.create seed) xs) = List.sort compare xs);
+    prop "Par.map agrees with List.map at any width"
+      QCheck2.Gen.(pair (int_range 1 8) (list small_int))
+      (fun (jobs, xs) ->
+        Svutil.Par.map ~jobs (fun x -> (x * 2) + 1) xs
+        = List.map (fun x -> (x * 2) + 1) xs);
+    prop "Par.map_array preserves order"
+      QCheck2.Gen.(pair (int_range 1 8) (array small_int))
+      (fun (jobs, xs) ->
+        Svutil.Par.map_array ~jobs string_of_int xs = Array.map string_of_int xs);
+    prop "Pq pops in key order" QCheck2.Gen.(list small_int) (fun xs ->
+        let pq = Svutil.Pq.create ~cmp:compare in
+        List.iter (Svutil.Pq.push pq) xs;
+        let rec drain acc =
+          match Svutil.Pq.pop pq with
+          | Some x -> drain (x :: acc)
+          | None -> List.rev acc
+        in
+        drain [] = List.sort compare xs);
   ]
+
+let test_par_exception () =
+  (* A worker exception must surface to the caller, not vanish in a
+     domain. *)
+  match Svutil.Par.map ~jobs:4 (fun x -> if x = 3 then failwith "boom" else x) [ 1; 2; 3; 4 ] with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+
+let test_pq_clear_and_peek () =
+  let pq = Svutil.Pq.create ~cmp:compare in
+  Alcotest.(check bool) "fresh is empty" true (Svutil.Pq.is_empty pq);
+  List.iter (Svutil.Pq.push pq) [ 3; 1; 2 ];
+  Alcotest.(check (option int)) "peek is min" (Some 1) (Svutil.Pq.peek pq);
+  Alcotest.(check int) "length" 3 (Svutil.Pq.length pq);
+  Svutil.Pq.clear pq;
+  Alcotest.(check bool) "cleared" true (Svutil.Pq.is_empty pq);
+  Alcotest.(check (option int)) "pop on empty" None (Svutil.Pq.pop pq)
 
 let () =
   Alcotest.run "svutil"
@@ -164,6 +199,11 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "worker exception propagates" `Quick test_par_exception;
+          Alcotest.test_case "pq clear and peek" `Quick test_pq_clear_and_peek;
         ] );
       ("properties", props);
     ]
