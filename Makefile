@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-json bench-compare lint-examples clean
+.PHONY: build test bench bench-smoke bench-json bench-compare lint-examples batch-examples clean
 
 # Output path for bench-json; override to record a new baseline, e.g.
 #   make bench-json OUT=BENCH_PR2.json
@@ -50,6 +50,12 @@ lint-examples:
 	    || { echo "FAIL: $$f did not report $$code (json)"; echo "$$json"; exit 1; }; \
 	  echo "ok: $$f -> $$code"; \
 	done
+
+# Engine batch driver over the shipped specs: every good example must
+# yield one "ok":true JSON line, with output independent of --jobs.
+batch-examples:
+	dune build bin/secure_view_cli.exe
+	./_build/default/bin/secure_view_cli.exe batch examples/*.swf --jobs 4
 
 clean:
 	dune clean

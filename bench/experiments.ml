@@ -32,14 +32,25 @@ let rat_str q =
   else Q.to_string q
 let ratio a b = if Q.is_zero b then "inf" else Printf.sprintf "%.3f" (Q.to_float (Q.div a b))
 
-let exact_cost ?(node_limit = 200_000) inst =
-  match Core.Exact.solve ~node_limit ~fast:true inst with
-  | Some { Core.Exact.solution; proven_optimal = true } -> Some solution.Sol.cost
+(* Certified optima go through the unified engine (same branch-and-bound
+   underneath; [fast] float relaxations, greedy-seeded cutoff). *)
+let engine_exact ?(node_limit = 200_000) inst =
+  Core.Engine.run
+    {
+      (Core.Engine.default_request inst) with
+      Core.Engine.meth = Core.Engine.Exact;
+      node_limit;
+    }
+
+let exact_cost ?node_limit inst =
+  match engine_exact ?node_limit inst with
+  | { Core.Engine.solution = Some s; proven_optimal = true; _ } ->
+      Some s.Sol.cost
   | _ -> None
 
-let exact_solution ?(node_limit = 200_000) inst =
-  match Core.Exact.solve ~node_limit ~fast:true inst with
-  | Some { Core.Exact.solution; proven_optimal = true } -> Some solution
+let exact_solution ?node_limit inst =
+  match engine_exact ?node_limit inst with
+  | { Core.Engine.solution = Some s; proven_optimal = true; _ } -> Some s
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

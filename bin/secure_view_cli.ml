@@ -4,7 +4,11 @@
    secure_view_cli lint FILE            static diagnostics (Wfcheck)
    secure_view_cli analyze FILE MODULE  standalone privacy analysis
    secure_view_cli solve FILE           solve the workflow Secure-View problem
+   secure_view_cli batch FILES...       solve many files, one JSON line each
    secure_view_cli check FILE --hide... validate a proposed view
+
+   All solving goes through Core.Engine: one request/result shape per
+   method, deadlines, and the auto portfolio.
 
    FILE uses the format documented in Wf.Parse. *)
 
@@ -145,10 +149,56 @@ let analyze_cmd =
 
 (* solve ----------------------------------------------------------------- *)
 
+(* Method selection is shared between [solve] and [batch]. The CLI names
+   keep their historical spellings: [lp] is the set-LP threshold
+   rounding, [alg1] the cardinality-LP randomized rounding. *)
+let concrete_methods =
+  [
+    ("auto", Core.Engine.Auto);
+    ("greedy", Core.Engine.Greedy);
+    ("lp", Core.Engine.Round_set);
+    ("alg1", Core.Engine.Round_card);
+    ("exact", Core.Engine.Exact);
+    ("brute", Core.Engine.Brute);
+  ]
+
+let method_doc =
+  "Solver: $(b,auto) (portfolio), $(b,greedy), $(b,lp) (set-LP threshold \
+   rounding), $(b,alg1) (cardinality-LP randomized rounding), $(b,exact) \
+   (branch and bound), $(b,brute) (exhaustive), or $(b,all) \
+   (greedy + lp + exact)."
+
 let method_arg =
-  let methods = Arg.enum [ ("all", `All); ("greedy", `Greedy); ("lp", `Lp); ("exact", `Exact) ] in
-  Arg.(value & opt methods `All & info [ "m"; "method" ] ~docv:"METHOD"
-         ~doc:"Solver: greedy, lp (rounding), exact (branch and bound), or all.")
+  let methods =
+    Arg.enum (("all", `All) :: List.map (fun (n, m) -> (n, `One (n, m))) concrete_methods)
+  in
+  Arg.(value & opt methods `All
+       & info [ "m"; "method" ] ~docv:"METHOD" ~doc:method_doc)
+
+let batch_method_arg =
+  let methods = Arg.enum (List.map (fun (n, m) -> (n, (n, m))) concrete_methods) in
+  Arg.(value & opt methods ("auto", Core.Engine.Auto)
+       & info [ "m"; "method" ] ~docv:"METHOD"
+           ~doc:"Solver: auto (portfolio, default), greedy, lp, alg1, exact, or brute.")
+
+let seed_arg =
+  Arg.(value & opt int 0
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"RNG seed for the randomized rounding trials (alg1). Equal \
+                 seeds reproduce equal solutions; batch derives one seed per \
+                 file from this base.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"MS"
+           ~doc:"Wall-clock budget in milliseconds. A run that hits it \
+                 returns the best incumbent found so far, never claiming \
+                 optimality.")
+
+let trials_arg =
+  Arg.(value & opt int 4
+       & info [ "trials" ] ~docv:"N"
+           ~doc:"Randomized rounding trials (alg1); the cheapest wins.")
 
 let instance_of spec =
   let w = spec.Wf.Parse.workflow in
@@ -208,77 +258,103 @@ let json_solution (s : Core.Solution.t) =
     (json_list s.Core.Solution.hidden)
     (json_list s.Core.Solution.privatized)
 
+let json_assoc kvs =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) kvs) ^ "}"
+
+let json_engine_result (r : Core.Engine.result) =
+  json_assoc
+    ([
+       ("method", json_str (Core.Engine.meth_to_string r.Core.Engine.method_used));
+       ( "solution",
+         match r.Core.Engine.solution with
+         | Some s -> json_solution s
+         | None -> "null" );
+       ("proven_optimal", string_of_bool r.Core.Engine.proven_optimal);
+     ]
+    @ (match r.Core.Engine.lower_bound with
+      | Some b -> [ ("lower_bound", json_str (Rat.to_string b)) ]
+      | None -> [])
+    @ (match r.Core.Engine.ratio with
+      | Some x -> [ ("ratio", Printf.sprintf "%.6g" x) ]
+      | None -> [])
+    @ [
+        ( "timings_ms",
+          json_assoc
+            (List.map
+               (fun (k, v) -> (k, Printf.sprintf "%.3f" v))
+               r.Core.Engine.timings) );
+        ( "stats",
+          json_assoc (List.map (fun (k, v) -> (k, json_str v)) r.Core.Engine.stats)
+        );
+      ])
+
+let stat_true (r : Core.Engine.result) key =
+  List.assoc_opt key r.Core.Engine.stats = Some "true"
+
+let request_of inst ~meth ~node_limit ~fast ~jobs ~seed ~deadline_ms ~trials =
+  {
+    (Core.Engine.default_request inst) with
+    Core.Engine.meth;
+    node_limit;
+    fast;
+    jobs;
+    seed;
+    deadline_ms;
+    trials;
+  }
+
 let solve_cmd =
-  let run file meth emit_view node_limit lp_solver jobs json =
+  let run file meth emit_view node_limit lp_solver jobs json seed deadline trials =
     let spec = load ~preflight:true file in
     let inst = instance_of spec in
     let fast = match lp_solver with `Fast -> true | `Exact -> false in
     let fields = ref [] in
     let field k v = fields := (k, v) :: !fields in
-    let print_sol label s =
-      if not json then Format.printf "%-8s %a@." label Core.Solution.pp s
-    in
-    let greedy () =
-      let s = Core.Greedy.solve inst in
-      print_sol "greedy" s;
-      field "greedy" (json_solution s)
-    in
-    (* The rounding step needs exact LP optima (the Theorem 5/6
-       threshold guarantee does not survive float round-off), so the lp
-       method ignores [--solver]; the flag steers the branch-and-bound
-       relaxations only. *)
-    let lp () =
-      match Core.Set_lp.lp_relaxation inst with
-      | `Optimal (x, bound) ->
-          let rounded = Core.Rounding.threshold inst ~x in
-          if not json then
-            Format.printf "%-8s %s@." "lp-bound" (Rat.to_string bound);
-          print_sol "lp-round" rounded;
-          field "lp"
-            (Printf.sprintf {|{"bound":%s,"rounded":%s}|}
-               (json_str (Rat.to_string bound))
-               (json_solution rounded))
-      | `Infeasible ->
-          if not json then print_endline "lp: infeasible";
-          field "lp" {|{"infeasible":true}|}
-    in
-    let exact () =
-      let outcome, stats =
-        Core.Exact.solve_with_stats ~node_limit ~fast ~jobs inst
+    (* One method through the engine: print the human-readable lines
+       (bound, solution, budget notes) unless --json, and always record
+       the JSON field under the CLI's name for the method. *)
+    let run_method (key, meth) =
+      let req =
+        request_of inst ~meth ~node_limit ~fast ~jobs ~seed
+          ~deadline_ms:deadline ~trials
       in
-      let stats_json =
-        Printf.sprintf {|"nodes":%d,"node_limit":%d,"limit_hit":%b|}
-          stats.Lp.Ilp.nodes stats.Lp.Ilp.node_limit stats.Lp.Ilp.limit_hit
-      in
-      match outcome with
-      | Some { Core.Exact.solution; proven_optimal } ->
-          print_sol (if proven_optimal then "optimal" else "best") solution;
-          if (not json) && stats.Lp.Ilp.limit_hit then
-            Printf.printf "(node limit %d reached after %d nodes)\n"
-              stats.Lp.Ilp.node_limit stats.Lp.Ilp.nodes;
-          field "exact"
-            (Printf.sprintf {|{"solution":%s,"proven_optimal":%b,%s}|}
-               (json_solution solution) proven_optimal stats_json);
-          Some solution
-      | None ->
-          if not json then print_endline "exact: infeasible";
-          field "exact"
-            (Printf.sprintf {|{"infeasible":true,%s}|} stats_json);
-          None
+      let r = Core.Engine.run req in
+      if not json then begin
+        (match r.Core.Engine.lower_bound with
+        | Some b when not r.Core.Engine.proven_optimal ->
+            Format.printf "%-8s %s@." (key ^ "-bound") (Rat.to_string b)
+        | _ -> ());
+        (match r.Core.Engine.solution with
+        | Some s ->
+            let label =
+              if r.Core.Engine.proven_optimal then "optimal"
+              else
+                match r.Core.Engine.method_used with
+                | Core.Engine.Exact -> "best"
+                | m -> Core.Engine.meth_to_string m
+            in
+            Format.printf "%-8s %a@." label Core.Solution.pp s
+        | None -> (
+            match List.assoc_opt "refused" r.Core.Engine.stats with
+            | Some reason -> Printf.printf "%s: %s\n" key reason
+            | None -> Printf.printf "%s: infeasible\n" key));
+        if stat_true r "limit_hit" then
+          Printf.printf "(node limit %s reached after %s nodes)\n"
+            (Option.value ~default:"?" (List.assoc_opt "node_limit" r.Core.Engine.stats))
+            (Option.value ~default:"?" (List.assoc_opt "nodes" r.Core.Engine.stats));
+        if stat_true r "deadline_hit" then
+          print_endline "(deadline reached; result is not proven optimal)"
+      end;
+      field key (json_engine_result r);
+      r.Core.Engine.solution
     in
     let final =
       match meth with
       | `All ->
-          greedy ();
-          lp ();
-          exact ()
-      | `Greedy ->
-          greedy ();
-          None
-      | `Lp ->
-          lp ();
-          None
-      | `Exact -> exact ()
+          ignore (run_method ("greedy", Core.Engine.Greedy));
+          ignore (run_method ("lp", Core.Engine.Round_set));
+          run_method ("exact", Core.Engine.Exact)
+      | `One (key, meth) -> run_method (key, meth)
     in
     if json then
       print_endline
@@ -287,13 +363,7 @@ let solve_cmd =
             (List.rev_map (fun (k, v) -> json_str k ^ ":" ^ v) !fields)
         ^ "}");
     if emit_view then begin
-      let solution =
-        match final with Some s -> Some s | None -> (
-          match Core.Exact.solve ~node_limit ~fast ~jobs inst with
-          | Some { Core.Exact.solution; _ } -> Some solution
-          | None -> None)
-      in
-      match solution with
+      match final with
       | None -> print_endline "no view: instance infeasible"
       | Some s ->
           let view = Core.View.materialize spec.Wf.Parse.workflow inst s in
@@ -302,7 +372,66 @@ let solve_cmd =
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve the workflow Secure-View problem.")
     Term.(const run $ file_arg $ method_arg $ emit_view_arg $ node_limit_arg
-          $ lp_solver_arg $ jobs_arg $ solve_json_arg)
+          $ lp_solver_arg $ jobs_arg $ solve_json_arg $ seed_arg $ deadline_arg
+          $ trials_arg)
+
+(* batch ----------------------------------------------------------------- *)
+
+let batch_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"FILES" ~doc:"Workflow description files.")
+  in
+  let run files (_, meth) node_limit lp_solver jobs seed deadline trials =
+    let fast = match lp_solver with `Fast -> true | `Exact -> false in
+    (* One JSON line per file; a file that fails to parse, lint, or
+       solve yields an "ok":false line instead of aborting the batch.
+       Each file gets a seed derived from the base seed and its position
+       so the output is identical whatever --jobs is. *)
+    let solve_file (idx, file) =
+      try
+        match Wf.Parse.parse_file file with
+        | Error e ->
+            ( Printf.sprintf {|{"file":%s,"ok":false,"error":%s}|}
+                (json_str file) (json_str e),
+              false )
+        | Ok spec -> (
+            match Wfcheck.errors (Wfcheck.check_spec spec) with
+            | _ :: _ as errs ->
+                ( Printf.sprintf {|{"file":%s,"ok":false,"error":%s}|}
+                    (json_str file)
+                    (json_str
+                       (Printf.sprintf "fails %d static check(s)"
+                          (List.length errs))),
+                  false )
+            | [] ->
+                let inst = instance_of spec in
+                let req =
+                  request_of inst ~meth ~node_limit ~fast ~jobs:1
+                    ~seed:(seed + idx) ~deadline_ms:deadline ~trials
+                in
+                let r = Core.Engine.run req in
+                ( Printf.sprintf {|{"file":%s,"ok":true,"result":%s}|}
+                    (json_str file) (json_engine_result r),
+                  true ))
+      with e ->
+        ( Printf.sprintf {|{"file":%s,"ok":false,"error":%s}|} (json_str file)
+            (json_str (Printexc.to_string e)),
+          false )
+    in
+    let lines =
+      Svutil.Par.map ~jobs solve_file (List.mapi (fun i f -> (i, f)) files)
+    in
+    List.iter (fun (line, _) -> print_endline line) lines;
+    exit (if List.for_all snd lines then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Solve many workflow files through the engine, one JSON line per \
+             file. Files are processed in parallel with --jobs; the output \
+             (order and content) does not depend on the job count.")
+    Term.(const run $ files_arg $ batch_method_arg $ node_limit_arg
+          $ lp_solver_arg $ jobs_arg $ seed_arg $ deadline_arg $ trials_arg)
 
 (* check ------------------------------------------------------------------ *)
 
@@ -391,4 +520,12 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "secure_view_cli" ~doc)
-          [ show_cmd; lint_cmd; analyze_cmd; solve_cmd; check_cmd; tradeoff_cmd ]))
+          [
+            show_cmd;
+            lint_cmd;
+            analyze_cmd;
+            solve_cmd;
+            batch_cmd;
+            check_cmd;
+            tradeoff_cmd;
+          ]))

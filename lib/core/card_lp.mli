@@ -33,8 +33,11 @@ val build : ?variant:variant -> Instance.t -> built
 val lp_relaxation :
   ?variant:variant ->
   ?fast:bool ->
+  ?deadline:Svutil.Deadline.t ->
   Instance.t ->
   [ `Optimal of (string -> Rat.t) * Rat.t | `Infeasible ]
 (** Solve the LP relaxation; returns the hidden-indicator values
     [x_b] and the LP objective (a lower bound on the optimum).
-    [fast] selects the float simplex (default: exact rationals). *)
+    [fast] selects the float simplex (default: exact rationals).
+    [deadline] is polled inside the simplex pivot loops; on expiry
+    {!Svutil.Deadline.Expired} is raised. *)

@@ -1,0 +1,302 @@
+module D = Svutil.Deadline
+
+type meth = Auto | Greedy | Round_card | Round_set | Exact | Brute
+
+let meth_to_string = function
+  | Auto -> "auto"
+  | Greedy -> "greedy"
+  | Round_card -> "round-card"
+  | Round_set -> "round-set"
+  | Exact -> "exact"
+  | Brute -> "brute"
+
+let meth_of_string = function
+  | "auto" -> Some Auto
+  | "greedy" -> Some Greedy
+  | "round-card" | "alg1" -> Some Round_card
+  | "round-set" | "lp" -> Some Round_set
+  | "exact" -> Some Exact
+  | "brute" -> Some Brute
+  | _ -> None
+
+type request = {
+  inst : Instance.t;
+  meth : meth;
+  deadline_ms : float option;
+  node_limit : int;
+  fast : bool;
+  jobs : int;
+  seed : int;
+  trials : int;
+}
+
+let default_request inst =
+  {
+    inst;
+    meth = Auto;
+    deadline_ms = None;
+    node_limit = Lp.Ilp.default_node_limit;
+    fast = true;
+    jobs = 1;
+    seed = 0;
+    trials = 4;
+  }
+
+type result = {
+  solution : Solution.t option;
+  lower_bound : Rat.t option;
+  proven_optimal : bool;
+  ratio : float option;
+  timings : (string * float) list;
+  stats : (string * string) list;
+  method_used : meth;
+}
+
+module type Solver_sig = sig
+  val name : string
+  val solve : request -> result
+end
+
+(* Phase timing: each solver accumulates [(label, ms)] pairs in reverse
+   and [make_result] appends the total, so [timings] reads
+   chronologically with ["total"] last. *)
+let phase phases label f =
+  let t0 = D.now_ms () in
+  let r = f () in
+  phases := (label, D.now_ms () -. t0) :: !phases;
+  r
+
+let make_result ~t0 ~phases ~method_used ?(stats = []) ?solution ?lower_bound
+    ?(proven_optimal = false) () =
+  let ratio =
+    match (solution, lower_bound) with
+    | Some _, _ when proven_optimal -> Some 1.0
+    | Some (s : Solution.t), Some lb when Rat.gt lb Rat.zero ->
+        Some (Rat.to_float (Rat.div s.Solution.cost lb))
+    | Some (s : Solution.t), Some _ when Rat.is_zero s.Solution.cost -> Some 1.0
+    | _ -> None
+  in
+  {
+    solution;
+    lower_bound;
+    proven_optimal;
+    ratio;
+    timings = List.rev (("total", D.now_ms () -. t0) :: !phases);
+    stats;
+    method_used;
+  }
+
+let greedy_solution inst =
+  match Greedy.solve inst with
+  | s when Solution.is_feasible inst s -> Some s
+  | _ | (exception Invalid_argument _) -> None
+
+(* When an LP-rounding method's relaxation blows its budget, fall back
+   to the greedy solution rather than returning nothing: the engine
+   contract is that a deadline hit degrades quality, not availability. *)
+let greedy_fallback ~t0 ~phases ~method_used ~stats req =
+  let solution =
+    phase phases "greedy-fallback" (fun () -> greedy_solution req.inst)
+  in
+  make_result ~t0 ~phases ~method_used
+    ~stats:(("deadline_hit", "true") :: stats)
+    ?solution ()
+
+module Greedy_solver = struct
+  let name = "greedy"
+
+  let solve req =
+    let t0 = D.now_ms () in
+    let phases = ref [] in
+    let solution = phase phases "greedy" (fun () -> greedy_solution req.inst) in
+    let stats =
+      match solution with None -> [ ("infeasible", "true") ] | Some _ -> []
+    in
+    make_result ~t0 ~phases ~method_used:Greedy ~stats ?solution ()
+end
+
+module Round_card_solver = struct
+  let name = "round-card"
+
+  (* Algorithm 1 (Theorem 5). The relaxation runs over exact rationals
+     regardless of [req.fast]: the rounding guarantee does not survive
+     float round-off of the x values. *)
+  let solve req =
+    let t0 = D.now_ms () in
+    let phases = ref [] in
+    if not (Exact.all_cardinality req.inst) then
+      make_result ~t0 ~phases ~method_used:Round_card
+        ~stats:
+          [
+            ( "refused",
+              "instance has explicit set constraints; use round-set" );
+          ]
+        ()
+    else
+      let deadline = D.of_ms_opt req.deadline_ms in
+      match
+        phase phases "lp" (fun () -> Card_lp.lp_relaxation ~deadline req.inst)
+      with
+      | exception D.Expired ->
+          greedy_fallback ~t0 ~phases ~method_used:Round_card ~stats:[] req
+      | `Infeasible ->
+          make_result ~t0 ~phases ~method_used:Round_card
+            ~stats:[ ("infeasible", "true") ]
+            ()
+      | `Optimal (x, bound) ->
+          let trials = max 1 req.trials in
+          let solution =
+            phase phases "round" (fun () ->
+                let base = Svutil.Rng.create req.seed in
+                let rngs =
+                  Array.init trials (fun _ -> Svutil.Rng.split base)
+                in
+                Rounding.best_of trials (fun i ->
+                    Rounding.algorithm1 rngs.(i) req.inst ~x))
+          in
+          make_result ~t0 ~phases ~method_used:Round_card
+            ~stats:[ ("trials", string_of_int trials) ]
+            ~solution ~lower_bound:bound ()
+end
+
+module Round_set_solver = struct
+  let name = "round-set"
+
+  let solve req =
+    let t0 = D.now_ms () in
+    let phases = ref [] in
+    let deadline = D.of_ms_opt req.deadline_ms in
+    match
+      phase phases "lp" (fun () -> Set_lp.lp_relaxation ~deadline req.inst)
+    with
+    | exception D.Expired ->
+        greedy_fallback ~t0 ~phases ~method_used:Round_set ~stats:[] req
+    | `Infeasible ->
+        make_result ~t0 ~phases ~method_used:Round_set
+          ~stats:[ ("infeasible", "true") ]
+          ()
+    | `Optimal (x, bound) ->
+        let solution =
+          phase phases "round" (fun () -> Rounding.threshold req.inst ~x)
+        in
+        make_result ~t0 ~phases ~method_used:Round_set
+          ~stats:
+            [ ("lmax", string_of_int (Instance.lmax (Instance.to_sets req.inst))) ]
+          ~solution ~lower_bound:bound ()
+end
+
+module Exact_solver = struct
+  let name = "exact"
+
+  let solve req =
+    let t0 = D.now_ms () in
+    let phases = ref [] in
+    let deadline = D.of_ms_opt req.deadline_ms in
+    let outcome, (st : Lp.Ilp.stats) =
+      phase phases "search" (fun () ->
+          Exact.solve_with_stats ~node_limit:req.node_limit ~fast:req.fast
+            ~jobs:req.jobs ~deadline req.inst)
+    in
+    let stats =
+      [
+        ("nodes", string_of_int st.nodes);
+        ("node_limit", string_of_int st.node_limit);
+        ("limit_hit", string_of_bool st.limit_hit);
+        ("deadline_hit", string_of_bool st.deadline_hit);
+      ]
+      @
+      match st.root_bound with
+      | Some b -> [ ("root_bound", Rat.to_string b) ]
+      | None -> []
+    in
+    match outcome with
+    | Some { Exact.solution; proven_optimal } ->
+        let lower_bound =
+          if proven_optimal then Some solution.Solution.cost
+          else st.root_bound
+        in
+        make_result ~t0 ~phases ~method_used:Exact ~stats ~solution
+          ?lower_bound ~proven_optimal ()
+    | None ->
+        make_result ~t0 ~phases ~method_used:Exact
+          ~stats:(("infeasible", "true") :: stats)
+          ()
+end
+
+module Brute_solver = struct
+  let name = "brute"
+
+  let solve req =
+    let t0 = D.now_ms () in
+    let phases = ref [] in
+    match
+      phase phases "enumerate" (fun () -> Exact.brute_force_checked req.inst)
+    with
+    | Error (Exact.Too_many_attrs { attrs; limit } as r) ->
+        make_result ~t0 ~phases ~method_used:Brute
+          ~stats:
+            [
+              ("refused", Exact.refusal_to_string r);
+              ("attrs", string_of_int attrs);
+              ("limit", string_of_int limit);
+            ]
+          ()
+    | Ok None ->
+        make_result ~t0 ~phases ~method_used:Brute
+          ~stats:[ ("infeasible", "true") ]
+          ()
+    | Ok (Some s) ->
+        make_result ~t0 ~phases ~method_used:Brute ~solution:s
+          ~lower_bound:s.Solution.cost ~proven_optimal:true ()
+end
+
+let registry : (meth * (module Solver_sig)) list ref = ref []
+
+let register m s =
+  if m = Auto then invalid_arg "Engine.register: Auto is not a solver";
+  registry := (m, s) :: List.remove_assoc m !registry
+
+let find m = List.assoc_opt m !registry
+
+let registered () =
+  List.rev_map (fun (m, (module S : Solver_sig)) -> (m, S.name)) !registry
+
+let () =
+  register Greedy (module Greedy_solver);
+  register Round_card (module Round_card_solver);
+  register Round_set (module Round_set_solver);
+  register Exact (module Exact_solver);
+  register Brute (module Brute_solver)
+
+(* Portfolio strategy. Thresholds: instances with at most [brute_attrs]
+   attributes enumerate faster than they presolve; below
+   [tight_deadline_ms] a branch-and-bound run cannot finish a root LP
+   reliably, so an LP-rounding method matched to the constraint form (or
+   greedy as last resort) is the best use of the budget. *)
+let brute_attrs = 10
+let tight_deadline_ms = 25.
+
+let choose (req : request) =
+  let inst = req.inst in
+  let n_attrs = List.length (Instance.attrs inst) in
+  if n_attrs <= brute_attrs && n_attrs <= Exact.brute_force_limit then Brute
+  else
+    let tight =
+      match req.deadline_ms with
+      | Some b -> b < tight_deadline_ms
+      | None -> false
+    in
+    if tight then
+      if Exact.all_cardinality inst then Round_card
+      else if Instance.lmax inst <= 3 then Round_set
+      else Greedy
+    else Exact
+
+let run req =
+  let m = match req.meth with Auto -> choose req | m -> m in
+  match find m with
+  | None ->
+      invalid_arg ("Engine.run: no solver registered for " ^ meth_to_string m)
+  | Some (module S) ->
+      let r = S.solve { req with meth = m } in
+      { r with method_used = m }

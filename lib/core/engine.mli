@@ -1,0 +1,94 @@
+(** The unified solver engine: one entry point over every Secure-View
+    method, with time budgets, a portfolio strategy, and uniform result
+    reporting.
+
+    Callers build a {!request} (instance + method + budgets + seed),
+    call {!run}, and get back one {!result} shape regardless of method:
+    an optional solution, an LP lower bound when one was computed, a
+    proven-optimality flag, per-phase wall-clock timings, and
+    method-specific counters as string pairs. The CLI [solve] and
+    [batch] subcommands and the benchmark drivers all go through here —
+    no caller invokes {!Greedy}/{!Rounding}/{!Exact} directly for
+    end-to-end solving anymore.
+
+    Methods are registered as first-class modules implementing
+    {!Solver_sig}, so alternative strategies can be plugged in without
+    touching the dispatch. *)
+
+type meth =
+  | Auto  (** portfolio: {!choose} picks one of the concrete methods *)
+  | Greedy  (** Theorem 7 per-module union *)
+  | Round_card
+      (** Algorithm 1: cardinality-LP randomized rounding (Theorem 5);
+          refuses instances with explicit set constraints *)
+  | Round_set  (** set-LP [1/l_max] threshold rounding (Theorem 6) *)
+  | Exact  (** branch-and-bound on the Figure 3 / set IP *)
+  | Brute  (** exhaustive subset enumeration (small instances only) *)
+
+val meth_to_string : meth -> string
+val meth_of_string : string -> meth option
+
+type request = {
+  inst : Instance.t;
+  meth : meth;
+  deadline_ms : float option;
+      (** wall-clock budget in milliseconds; [None] = unlimited. A hit
+          budget returns the best incumbent with
+          [proven_optimal = false] — it never raises. *)
+  node_limit : int;  (** branch-and-bound node budget (exact method) *)
+  fast : bool;  (** float simplex for branch-and-bound relaxations *)
+  jobs : int;  (** concurrent branch-and-bound node evaluations *)
+  seed : int;  (** RNG seed for randomized rounding trials *)
+  trials : int;  (** rounding trials; the cheapest solution wins *)
+}
+
+val default_request : Instance.t -> request
+(** [meth = Auto], no deadline, {!Lp.Ilp.default_node_limit} nodes,
+    [fast = true], [jobs = 1], [seed = 0], [trials = 4]. *)
+
+type result = {
+  solution : Solution.t option;  (** [None] = infeasible or refused *)
+  lower_bound : Rat.t option;
+      (** an LP-relaxation (or optimality) lower bound on the optimum,
+          when the method computed one *)
+  proven_optimal : bool;
+  ratio : float option;
+      (** achieved approximation ratio [cost / lower_bound] when both
+          are available; [1.0] when proven optimal *)
+  timings : (string * float) list;
+      (** per-phase wall-clock milliseconds, e.g. [("lp", _); ("round", _)];
+          always includes ["total"] *)
+  stats : (string * string) list;
+      (** method-specific counters and flags, e.g. branch-and-bound
+          [nodes], [deadline_hit], or a brute-force [refused] reason *)
+  method_used : meth;  (** never [Auto]: what actually ran *)
+}
+
+module type Solver_sig = sig
+  val name : string
+
+  val solve : request -> result
+  (** Must not raise on deadline expiry; must honour [req.deadline_ms]
+      at least coarsely. *)
+end
+
+val register : meth -> (module Solver_sig) -> unit
+(** Replaces any previous registration for that method. Registering
+    [Auto] is rejected with [Invalid_argument] — the portfolio is
+    dispatch logic, not a solver. *)
+
+val find : meth -> (module Solver_sig) option
+val registered : unit -> (meth * string) list
+
+val choose : request -> meth
+(** The portfolio strategy behind [Auto]: brute force when the
+    instance is small enough to enumerate outright; under a tight
+    deadline an LP-rounding method matched to the constraint form
+    (cardinality → Algorithm 1, small [l_max] → threshold) or greedy;
+    otherwise branch-and-bound seeded with the greedy cutoff. Never
+    returns [Auto], and never picks a method that would refuse the
+    instance. *)
+
+val run : request -> result
+(** Resolve [Auto] via {!choose}, look the method up in the registry,
+    and solve. [result.method_used] records the concrete method. *)

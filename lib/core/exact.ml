@@ -25,13 +25,13 @@ let seed_solution inst =
   | _ | (exception _) -> None
 
 let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit) ?(fast = true)
-    ?(jobs = 1) inst =
+    ?(jobs = 1) ?deadline inst =
   let problem, attr_var = build_ip inst in
   let seed = seed_solution inst in
   let cutoff = Option.map (fun (s : Solution.t) -> s.Solution.cost) seed in
   let solve_ilp =
-    if fast then Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ~jobs
-    else Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ~jobs
+    if fast then Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline
+    else Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline
   in
   let finish ~proven values =
     let hidden =
@@ -59,22 +59,40 @@ let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit) ?(fast = true)
   in
   (outcome, stats)
 
-let solve ?node_limit ?fast ?jobs inst =
-  fst (solve_with_stats ?node_limit ?fast ?jobs inst)
+let solve ?node_limit ?fast ?jobs ?deadline inst =
+  fst (solve_with_stats ?node_limit ?fast ?jobs ?deadline inst)
+
+type refusal = Too_many_attrs of { attrs : int; limit : int }
+
+let brute_force_limit = 25
+
+let refusal_to_string (Too_many_attrs { attrs; limit }) =
+  Printf.sprintf "brute force refused: %d attributes exceeds the %d-attribute limit"
+    attrs limit
+
+let brute_force_checked inst =
+  let attrs = List.length (Instance.attrs inst) in
+  if attrs > brute_force_limit then
+    Error (Too_many_attrs { attrs; limit = brute_force_limit })
+  else begin
+    let best = ref None in
+    Svutil.Subset.iter (Instance.attrs inst) (fun hidden ->
+        let s = Solution.of_hidden inst hidden in
+        if Solution.is_feasible inst s then
+          match !best with
+          | Some b when Solution.compare_cost b s <= 0 -> ()
+          | _ -> best := Some s);
+    Ok !best
+  end
 
 let brute_force inst =
-  let best = ref None in
-  Svutil.Subset.iter (Instance.attrs inst) (fun hidden ->
-      let s = Solution.of_hidden inst hidden in
-      if Solution.is_feasible inst s then
-        match !best with
-        | Some b when Solution.compare_cost b s <= 0 -> ()
-        | _ -> best := Some s);
-  !best
+  match brute_force_checked inst with
+  | Ok best -> best
+  | Error r -> invalid_arg (refusal_to_string r)
 
-let lower_bound ?(fast = false) inst =
+let lower_bound ?(fast = false) ?deadline inst =
   let result =
-    if all_cardinality inst then Card_lp.lp_relaxation ~fast inst
-    else Set_lp.lp_relaxation ~fast inst
+    if all_cardinality inst then Card_lp.lp_relaxation ~fast ?deadline inst
+    else Set_lp.lp_relaxation ~fast ?deadline inst
   in
   match result with `Optimal (_, obj) -> Some obj | `Infeasible -> None

@@ -10,11 +10,21 @@
 type outcome = {
   solution : Solution.t;
   proven_optimal : bool;
-      (** false when the branch-and-bound node limit was reached *)
+      (** false when the branch-and-bound node limit or deadline was
+          reached *)
 }
 
+val all_cardinality : Instance.t -> bool
+(** Every module requirement is in cardinality form — the instance is
+    eligible for the Figure 3 IP and Algorithm 1's rounding. *)
+
 val solve :
-  ?node_limit:int -> ?fast:bool -> ?jobs:int -> Instance.t -> outcome option
+  ?node_limit:int ->
+  ?fast:bool ->
+  ?jobs:int ->
+  ?deadline:Svutil.Deadline.t ->
+  Instance.t ->
+  outcome option
 (** [None] when the instance is infeasible. [fast] uses the float
     simplex for the relaxations (default true: exact pivoting is the
     reference but slow on the larger benchmark instances). [jobs]
@@ -23,21 +33,41 @@ val solve :
     greedy solution as a strict cutoff, so a run that proves the seed
     unbeatable returns it as optimal without finding it again; the
     LP-rounding seed lives inside {!Lp.Ilp}, which rounds its own root
-    relaxation. *)
+    relaxation. [deadline] bounds the branch-and-bound wall clock: on
+    expiry the best incumbent found so far (at worst the greedy seed) is
+    returned with [proven_optimal = false]. *)
 
 val solve_with_stats :
   ?node_limit:int ->
   ?fast:bool ->
   ?jobs:int ->
+  ?deadline:Svutil.Deadline.t ->
   Instance.t ->
   outcome option * Lp.Ilp.stats
 (** Like {!solve}, also reporting branch-and-bound search statistics
-    (nodes explored, limit, whether the limit was hit) for diagnostics
-    and the CLI's [--json] output. *)
+    (nodes explored, limit, whether the limit or deadline was hit, and
+    the root LP bound) for diagnostics and the CLI's [--json] output. *)
+
+type refusal = Too_many_attrs of { attrs : int; limit : int }
+(** A typed reason why {!brute_force_checked} declined to run. *)
+
+val brute_force_limit : int
+(** Largest attribute count the exhaustive search accepts (25). *)
+
+val refusal_to_string : refusal -> string
+
+val brute_force_checked :
+  Instance.t -> (Solution.t option, refusal) result
+(** Exhaustive search over hidden attribute subsets. [Ok None] means the
+    instance is infeasible; [Error] means the instance has more than
+    {!brute_force_limit} attributes and the search was refused without
+    enumerating anything. *)
 
 val brute_force : Instance.t -> Solution.t option
-(** Exhaustive search over hidden attribute subsets. Requires at most 25
-    attributes. *)
+(** {!brute_force_checked}, raising [Invalid_argument] on refusal.
+    Prefer the checked variant in new code. *)
 
-val lower_bound : ?fast:bool -> Instance.t -> Rat.t option
-(** The LP-relaxation bound used in approximation-ratio reporting. *)
+val lower_bound :
+  ?fast:bool -> ?deadline:Svutil.Deadline.t -> Instance.t -> Rat.t option
+(** The LP-relaxation bound used in approximation-ratio reporting. May
+    raise {!Svutil.Deadline.Expired}. *)

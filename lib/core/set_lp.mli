@@ -23,5 +23,8 @@ val build : Instance.t -> built
 
 val lp_relaxation :
   ?fast:bool ->
+  ?deadline:Svutil.Deadline.t ->
   Instance.t ->
   [ `Optimal of (string -> Rat.t) * Rat.t | `Infeasible ]
+(** [deadline] is polled inside the simplex pivot loops; on expiry
+    {!Svutil.Deadline.Expired} is raised. *)

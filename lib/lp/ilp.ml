@@ -9,7 +9,13 @@ type result =
   | Unbounded
   | Unknown
 
-type stats = { nodes : int; node_limit : int; limit_hit : bool }
+type stats = {
+  nodes : int;
+  node_limit : int;
+  limit_hit : bool;
+  deadline_hit : bool;
+  root_bound : Rat.t option;
+}
 
 let default_node_limit = 50_000
 
@@ -79,16 +85,25 @@ module Make (Solver : Simplex.SOLVER) = struct
     if c <> 0 then c else compare b.seq a.seq (* newest first among ties *)
 
   let solve_with_stats ?(node_limit = default_node_limit) ?cutoff ?(jobs = 1)
-      (s : Problem.snapshot) =
-    let finished nodes limit_hit = { nodes; node_limit; limit_hit } in
-    match Presolve.run s with
-    | Presolve.Infeasible -> (Infeasible, finished 0 false)
-    | Presolve.Solved { values } ->
-        let objective = Linexpr.eval s.Problem.objective (fun v -> values.(v)) in
-        let ok = match cutoff with None -> true | Some c -> Rat.lt objective c in
-        if ok then (Optimal { objective; values }, finished 0 false)
-        else (Infeasible, finished 0 false)
-    | Presolve.Reduced { problem = p; restore } ->
+      ?(deadline = Svutil.Deadline.none) (s : Problem.snapshot) =
+    let finished ?root_bound ?(deadline_hit = false) nodes limit_hit =
+      { nodes; node_limit; limit_hit; deadline_hit; root_bound }
+    in
+    (* A budget that is already spent buys no work at all — not even
+       presolve — so callers holding an incumbent keep it and never see
+       a claim of optimality they had no time to earn. *)
+    if Svutil.Deadline.expired deadline then
+      (Unknown, finished ~deadline_hit:true 0 false)
+    else
+      match Presolve.run s with
+      | Presolve.Infeasible -> (Infeasible, finished 0 false)
+      | Presolve.Solved { values } ->
+          let objective = Linexpr.eval s.Problem.objective (fun v -> values.(v)) in
+          let ok = match cutoff with None -> true | Some c -> Rat.lt objective c in
+          let finished = finished ~root_bound:objective in
+          if ok then (Optimal { objective; values }, finished 0 false)
+          else (Infeasible, finished 0 false)
+      | Presolve.Reduced { problem = p; restore } ->
         let jobs = max 1 jobs in
         (* The cutoff lives in the original objective space; fixed
            variables contribute a constant the reduced objective lacks. *)
@@ -99,6 +114,8 @@ module Make (Solver : Simplex.SOLVER) = struct
         let cutoff = Option.map (fun c -> Rat.sub c kappa) cutoff in
         let nodes = ref 0 in
         let limit_hit = ref false in
+        let deadline_hit = ref false in
+        let root_bound = ref None in
         let unbounded = ref false in
         let best : (Rat.t * Rat.t array) option ref = ref None in
         let current_cut () =
@@ -147,11 +164,11 @@ module Make (Solver : Simplex.SOLVER) = struct
         let states = Array.make jobs None in
         let node_solve slot ~lb ~ub =
           (match states.(slot) with
-          | None -> states.(slot) <- Some (Solver.warm_create p)
+          | None -> states.(slot) <- Some (Solver.warm_create ~deadline p)
           | Some _ -> ());
           match states.(slot) with
-          | Some (Some w) -> Solver.warm_solve w ~lb ~ub
-          | _ -> Solver.solve (Problem.with_bounds p ~lb ~ub)
+          | Some (Some w) -> Solver.warm_solve ~deadline w ~lb ~ub
+          | _ -> Solver.solve ~deadline (Problem.with_bounds p ~lb ~ub)
         in
         let pq = Svutil.Pq.create ~cmp:node_cmp in
         let seq = ref 0 in
@@ -184,29 +201,37 @@ module Make (Solver : Simplex.SOLVER) = struct
         (* Root node: [warm_create] already solved it, so reuse its
            optimum rather than reoptimizing under unchanged bounds. *)
         incr nodes;
-        states.(0) <- Some (Solver.warm_create p);
-        let root_result =
-          match states.(0) with
-          | Some (Some w) -> Solver.warm_root w
-          | _ -> Solver.solve p
-        in
-        (match root_result with
-        | Simplex.Infeasible -> ()
-        | Simplex.Unbounded -> unbounded := true
-        | Simplex.Optimal { objective; values } ->
+        (match
+           (try
+              states.(0) <- Some (Solver.warm_create ~deadline p);
+              `Solved
+                (match states.(0) with
+                | Some (Some w) -> Solver.warm_root w
+                | _ -> Solver.solve ~deadline p)
+            with Svutil.Deadline.Expired -> `Timeout)
+         with
+        | `Timeout -> deadline_hit := true
+        | `Solved Simplex.Infeasible -> ()
+        | `Solved Simplex.Unbounded -> unbounded := true
+        | `Solved (Simplex.Optimal { objective; values }) ->
+            root_bound := Some (Rat.add objective kappa);
             if not (dominated objective) then begin
               seed_incumbent values;
               push_children objective p.Problem.lb p.Problem.ub values
             end);
         (* Best-first loop, evaluating up to [jobs] open nodes per round. *)
         let continue_ = ref true in
-        while !continue_ && not !unbounded && not (Svutil.Pq.is_empty pq) do
+        while
+          !continue_ && (not !unbounded) && (not !deadline_hit)
+          && not (Svutil.Pq.is_empty pq)
+        do
           (* The queue is ordered by bound: once the top is dominated,
              everything is, and the incumbent is proven optimal. *)
           (match (Svutil.Pq.peek pq, current_cut ()) with
           | Some top, Some c when Rat.geq top.bound c -> Svutil.Pq.clear pq
           | _ -> ());
           if Svutil.Pq.is_empty pq then continue_ := false
+          else if Svutil.Deadline.expired deadline then deadline_hit := true
           else if !nodes >= node_limit then begin
             limit_hit := true;
             continue_ := false
@@ -221,12 +246,22 @@ module Make (Solver : Simplex.SOLVER) = struct
             done;
             let batch = List.rev !batch in
             nodes := !nodes + List.length batch;
+            (* A worker whose LP ran out of budget reports [None]; the
+               round's completed solves are still harvested, then the
+               search stops with the incumbent it has. *)
             let results =
               Svutil.Par.map ~jobs
-                (fun (slot, nd) -> node_solve slot ~lb:nd.lb ~ub:nd.ub)
+                (fun (slot, nd) ->
+                  try Some (node_solve slot ~lb:nd.lb ~ub:nd.ub)
+                  with Svutil.Deadline.Expired -> None)
                 (List.mapi (fun slot nd -> (slot, nd)) batch)
             in
-            List.iter2 (fun nd res -> process res (nd.lb, nd.ub)) batch results
+            List.iter2
+              (fun nd res ->
+                match res with
+                | Some r -> process r (nd.lb, nd.ub)
+                | None -> deadline_hit := true)
+              batch results
           end
         done;
         Log.debug (fun m ->
@@ -235,7 +270,10 @@ module Make (Solver : Simplex.SOLVER) = struct
               (match !best with
               | Some (obj, _) -> " incumbent " ^ Rat.to_string obj
               | None -> ""));
-        let stats = finished !nodes !limit_hit in
+        let stats =
+          finished ?root_bound:!root_bound ~deadline_hit:!deadline_hit !nodes
+            !limit_hit
+        in
         if !unbounded then (Unbounded, stats)
         else
           let restore_result values =
@@ -243,7 +281,8 @@ module Make (Solver : Simplex.SOLVER) = struct
             let objective = Linexpr.eval s.Problem.objective (fun v -> full.(v)) in
             (objective, full)
           in
-          (match (!best, !limit_hit) with
+          let interrupted = !limit_hit || !deadline_hit in
+          (match (!best, interrupted) with
           | Some (_, values), false ->
               let objective, values = restore_result values in
               (Optimal { objective; values }, stats)
@@ -253,8 +292,8 @@ module Make (Solver : Simplex.SOLVER) = struct
           | None, true -> (Unknown, stats)
           | None, false -> (Infeasible, stats))
 
-  let solve ?node_limit ?cutoff ?jobs s =
-    fst (solve_with_stats ?node_limit ?cutoff ?jobs s)
+  let solve ?node_limit ?cutoff ?jobs ?deadline s =
+    fst (solve_with_stats ?node_limit ?cutoff ?jobs ?deadline s)
 
   (* The pre-overhaul recursive depth-first solver, verbatim: cold LP
      solve per node, fixed 1e-6 snapping tolerance. Kept as the oracle

@@ -17,15 +17,24 @@ type result =
   | Optimal of { objective : Rat.t; values : Rat.t array }
       (** Proven optimal over the integrality-marked variables. *)
   | Feasible of { objective : Rat.t; values : Rat.t array }
-      (** Node limit reached; best incumbent returned. *)
+      (** Node limit or deadline reached; best incumbent returned. *)
   | Infeasible
   | Unbounded
-  | Unknown  (** Node limit reached before any incumbent was found. *)
+  | Unknown
+      (** Node limit or deadline reached before any incumbent was
+          found. *)
 
 type stats = {
   nodes : int;  (** LP relaxations solved (0 when presolve decided alone) *)
   node_limit : int;
   limit_hit : bool;
+  deadline_hit : bool;
+      (** the time budget expired before the search completed; the
+          result is [Feasible] or [Unknown], never [Optimal] *)
+  root_bound : Rat.t option;
+      (** objective of the root LP relaxation (in the original variable
+          space): a lower bound on every integral solution. [None] when
+          the root was infeasible or never solved. *)
 }
 
 val default_node_limit : int
@@ -33,7 +42,12 @@ val default_node_limit : int
 
 module Make (_ : Simplex.SOLVER) : sig
   val solve :
-    ?node_limit:int -> ?cutoff:Rat.t -> ?jobs:int -> Problem.snapshot -> result
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
+    Problem.snapshot ->
+    result
   (** [node_limit] defaults to {!default_node_limit}. [cutoff] prunes
       the search to solutions with objective strictly below it: when the
       search completes without finding one, the result is [Infeasible],
@@ -41,12 +55,18 @@ module Make (_ : Simplex.SOLVER) : sig
       a feasible solution at exactly the cutoff may conclude it is
       optimal. [jobs] evaluates up to that many open nodes concurrently
       per round (real parallelism only when {!Svutil.Par.available});
-      the reported optimum does not depend on it. *)
+      the reported optimum does not depend on it. [deadline] (default
+      {!Svutil.Deadline.none}) is polled at every node pop and inside
+      the simplex pivot loops: when it expires the search stops and the
+      best incumbent is returned as [Feasible] ([Unknown] if there is
+      none) with [stats.deadline_hit] set — a deadline hit never claims
+      [Optimal]. *)
 
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
     ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
     Problem.snapshot ->
     result * stats
 
@@ -58,12 +78,18 @@ end
 
 module Exact : sig
   val solve :
-    ?node_limit:int -> ?cutoff:Rat.t -> ?jobs:int -> Problem.snapshot -> result
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
+    Problem.snapshot ->
+    result
 
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
     ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
     Problem.snapshot ->
     result * stats
 
@@ -72,12 +98,18 @@ end
 
 module Fast : sig
   val solve :
-    ?node_limit:int -> ?cutoff:Rat.t -> ?jobs:int -> Problem.snapshot -> result
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
+    Problem.snapshot ->
+    result
 
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
     ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
     Problem.snapshot ->
     result * stats
 

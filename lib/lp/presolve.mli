@@ -33,9 +33,14 @@ type outcome =
 
 val run : Problem.snapshot -> outcome
 
-val solve_lp : (module Simplex.SOLVER) -> Problem.snapshot -> Simplex.result
+val solve_lp :
+  ?deadline:Svutil.Deadline.t ->
+  (module Simplex.SOLVER) ->
+  Problem.snapshot ->
+  Simplex.result
 (** Presolve, solve the reduced continuous relaxation with the given
     solver, and restore: a drop-in replacement for [Solver.solve]
     (integrality marks are ignored, as in {!Simplex}). The reported
     objective is re-evaluated on the restored values against the
-    original objective. *)
+    original objective. [deadline] is forwarded to the solver, which may
+    raise {!Svutil.Deadline.Expired}. *)

@@ -5,13 +5,19 @@ type result =
 
 module type SOLVER = sig
   val integral_eps : Rat.t
-  val solve : Problem.snapshot -> result
+  val solve : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> result
 
   type warm
 
-  val warm_create : Problem.snapshot -> warm option
+  val warm_create : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> warm option
   val warm_root : warm -> result
-  val warm_solve : warm -> lb:Rat.t array -> ub:Rat.t option array -> result
+
+  val warm_solve :
+    ?deadline:Svutil.Deadline.t ->
+    warm ->
+    lb:Rat.t array ->
+    ub:Rat.t option array ->
+    result
 end
 
 let src = Logs.Src.create "secure_view.simplex" ~doc:"Two-phase simplex solver"
@@ -20,6 +26,11 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 module Make (F : Field.S) : SOLVER = struct
   let iteration_limit = 200_000
+
+  (* Deadline polls read the clock once per this many pivots: cheap
+     enough to be invisible, frequent enough that a budget overrun is
+     bounded by a few pivots' work. *)
+  let deadline_poll_mask = 63
 
   (* A warm reoptimization is supposed to be a handful of pivots; past
      this budget the caller falls back to a cold two-phase solve. *)
@@ -100,12 +111,13 @@ module Make (F : Field.S) : SOLVER = struct
      Dantzig's rule (most negative reduced cost) with a Bland fallback
      during long degenerate streaks for anti-cycling; ties in the ratio
      test broken by lowest basis variable. *)
-  let optimize t ~cost ~allowed =
+  let optimize t ~deadline ~cost ~allowed =
     let m = Array.length t.b in
     let rc = reduced_costs t cost in
     let degen = ref 0 in
     let rec loop iter =
       if iter > iteration_limit then failwith "Simplex: iteration limit exceeded";
+      if iter land deadline_poll_mask = 0 then Svutil.Deadline.check deadline;
       let entering = ref (-1) in
       if !degen > degenerate_streak_limit then (
         try
@@ -223,14 +235,14 @@ module Make (F : Field.S) : SOLVER = struct
     ({ ncols; first_art; a; b; basis }, !n_art, unit_col)
 
   (* Phase 1 (when artificials exist), drive-out, then phase 2. *)
-  let two_phase t ~n_art ~cost2 =
+  let two_phase t ~deadline ~n_art ~cost2 =
     let m = Array.length t.b in
     if n_art > 0 then begin
       let cost1 = Array.make t.ncols F.zero in
       for j = t.first_art to t.ncols - 1 do
         cost1.(j) <- F.one
       done;
-      (match optimize t ~cost:cost1 ~allowed:(fun _ -> true) with
+      (match optimize t ~deadline ~cost:cost1 ~allowed:(fun _ -> true) with
       | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
       | `Optimal -> ());
       if gt (objective_value t cost1) F.zero then `Infeasible
@@ -255,10 +267,10 @@ module Make (F : Field.S) : SOLVER = struct
                at value zero and can never re-enter or change. *)
           end
         done;
-        optimize t ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
+        optimize t ~deadline ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
       end
     end
-    else optimize t ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
+    else optimize t ~deadline ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
 
   (* Read structural values off an optimal tableau (shifted by [lb0]). *)
   let extract t ~n ~lb0 ~objective =
@@ -273,7 +285,7 @@ module Make (F : Field.S) : SOLVER = struct
     List.iter (fun (v, c) -> cost2.(v) <- F.of_rat c) (Linexpr.to_list objective);
     cost2
 
-  let solve (s : Problem.snapshot) =
+  let solve ?(deadline = Svutil.Deadline.none) (s : Problem.snapshot) =
     let n = s.n in
     try
       (* Shift: y_i = x_i - lb_i. *)
@@ -298,7 +310,7 @@ module Make (F : Field.S) : SOLVER = struct
       in
       let t, n_art, _unit_col = build_tableau ~n (Array.of_list (rows @ ub_rows)) in
       let cost2 = phase2_cost ~ncols:t.ncols s.objective in
-      match two_phase t ~n_art ~cost2 with
+      match two_phase t ~deadline ~n_art ~cost2 with
       | `Infeasible ->
           Log.debug (fun f -> f "infeasible (%d cols)" t.ncols);
           Infeasible
@@ -338,7 +350,7 @@ module Make (F : Field.S) : SOLVER = struct
     mutable ok : bool;  (** false: give up on warm starts, always cold-solve *)
   }
 
-  let warm_create (s : Problem.snapshot) =
+  let warm_create ?(deadline = Svutil.Deadline.none) (s : Problem.snapshot) =
     let n = s.n in
     let need_pair = Array.init n (fun i -> s.integer.(i)) in
     let missing_ub =
@@ -390,7 +402,7 @@ module Make (F : Field.S) : SOLVER = struct
         let b_init = Array.copy t.b in
         let basis_init = Array.copy t.basis in
         let cost2 = phase2_cost ~ncols:t.ncols s.objective in
-        match two_phase t ~n_art ~cost2 with
+        match two_phase t ~deadline ~n_art ~cost2 with
         | `Infeasible | `Unbounded -> None
         | `Optimal ->
             Some
@@ -417,7 +429,7 @@ module Make (F : Field.S) : SOLVER = struct
   (* Reset the live tableau to its pristine post-build state and re-run
      the two-phase solve at root bounds, shedding accumulated float
      error. *)
-  let rebuild w =
+  let rebuild ~deadline w =
     let t = w.t in
     let m = Array.length t.b in
     for i = 0 to m - 1 do
@@ -427,7 +439,7 @@ module Make (F : Field.S) : SOLVER = struct
     Array.blit w.basis_init 0 t.basis 0 m;
     Array.blit w.b_init 0 w.b0 0 m;
     let n_art = t.ncols - t.first_art in
-    match two_phase t ~n_art ~cost2:w.cost2 with
+    match two_phase t ~deadline ~n_art ~cost2:w.cost2 with
     | `Optimal -> true
     | `Infeasible | `Unbounded -> false
 
@@ -463,13 +475,14 @@ module Make (F : Field.S) : SOLVER = struct
 
   (* Bounded dual simplex (Bland's rule in the dual), then a primal
      cleanup pass for any float drift in the reduced costs. *)
-  let reoptimize w =
+  let reoptimize ~deadline w =
     let t = w.t in
     let m = Array.length t.b in
     let rc = reduced_costs t w.cost2 in
     let rec dual iter =
       if iter > dual_iteration_limit then `Fail
       else begin
+        if iter land deadline_poll_mask = 0 then Svutil.Deadline.check deadline;
         let row = ref (-1) in
         for i = 0 to m - 1 do
           if lt t.b.(i) F.zero && (!row < 0 || t.basis.(i) < t.basis.(!row)) then
@@ -502,19 +515,20 @@ module Make (F : Field.S) : SOLVER = struct
     | `Fail -> `Fail
     | `Infeasible -> `Infeasible
     | `Primal_feasible -> (
-        match optimize t ~cost:w.cost2 ~allowed:(fun j -> j < t.first_art) with
+        match optimize t ~deadline ~cost:w.cost2 ~allowed:(fun j -> j < t.first_art) with
         | `Optimal -> `Optimal
         | `Unbounded ->
             (* Nodes of a bounded root can't be unbounded; treat as a
                numerical failure and let the cold solver decide. *)
             `Fail)
 
-  let warm_solve w ~lb ~ub =
-    let cold () = solve (Problem.with_bounds w.prob ~lb ~ub) in
+  let warm_solve ?(deadline = Svutil.Deadline.none) w ~lb ~ub =
+    let cold () = solve ~deadline (Problem.with_bounds w.prob ~lb ~ub) in
     if not w.ok then cold ()
     else begin
       w.solves <- w.solves + 1;
-      if (not F.exact) && w.solves mod rebuild_period = 0 && not (rebuild w) then begin
+      if (not F.exact) && w.solves mod rebuild_period = 0 && not (rebuild ~deadline w)
+      then begin
         w.ok <- false;
         cold ()
       end
@@ -524,7 +538,7 @@ module Make (F : Field.S) : SOLVER = struct
             w.ok <- false;
             cold ()
         | () -> (
-            match reoptimize w with
+            match reoptimize ~deadline w with
             | `Optimal ->
                 extract w.t ~n:w.prob.Problem.n ~lb0:w.lb0
                   ~objective:w.prob.Problem.objective

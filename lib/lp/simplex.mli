@@ -26,8 +26,11 @@ module type SOLVER = sig
       zero for exact rationals (optima are never perturbed by snapping),
       [1e-6] for floats. *)
 
-  val solve : Problem.snapshot -> result
-  (** Cold two-phase solve. *)
+  val solve : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> result
+  (** Cold two-phase solve. The pivot loops poll [deadline] every few
+      dozen iterations and raise {!Svutil.Deadline.Expired} when it has
+      passed — callers holding an incumbent catch it there. Defaults to
+      {!Svutil.Deadline.none}. *)
 
   type warm
   (** Reusable solver state for a fixed constraint matrix: only the
@@ -37,23 +40,30 @@ module type SOLVER = sig
       basis stays dual feasible — each node costs a short dual-simplex
       pass instead of a full two-phase solve. *)
 
-  val warm_create : Problem.snapshot -> warm option
+  val warm_create : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> warm option
   (** Builds warm state and solves the root. [None] when the problem is
       not warmable (an integer variable without a finite upper bound,
       or a root that is not primal-feasible and bounded) — callers fall
-      back to {!solve}. *)
+      back to {!solve}. May raise {!Svutil.Deadline.Expired} from the
+      root solve. *)
 
   val warm_root : warm -> result
   (** The root optimum computed by {!warm_create}, at no extra cost —
       callers should use it for the root node instead of a redundant
       {!warm_solve} at root bounds. *)
 
-  val warm_solve : warm -> lb:Rat.t array -> ub:Rat.t option array -> result
+  val warm_solve :
+    ?deadline:Svutil.Deadline.t ->
+    warm ->
+    lb:Rat.t array ->
+    ub:Rat.t option array ->
+    result
   (** Reoptimize under new bounds for the integer-marked variables
       (bounds of other variables must equal the root's). Falls back to a
       cold {!solve} internally if the bounded dual pass fails, so the
-      result is always as definitive as {!solve}'s. Not thread-safe:
-      a [warm] value must be used by one domain at a time. *)
+      result is always as definitive as {!solve}'s. Polls [deadline]
+      like {!solve}. Not thread-safe: a [warm] value must be used by one
+      domain at a time. *)
 end
 
 module Make (_ : Field.S) : SOLVER

@@ -335,6 +335,78 @@ let test_infeasible_instance () =
   Alcotest.(check bool) "ilp none" true (Core.Exact.solve inst = None)
 
 (* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module E = Core.Engine
+
+let test_engine_registry () =
+  let names = List.map snd (E.registered ()) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "greedy"; "round-card"; "round-set"; "exact"; "brute" ];
+  Alcotest.(check bool) "auto is not a solver" true (E.find E.Auto = None);
+  Alcotest.check_raises "registering auto rejected"
+    (Invalid_argument "Engine.register: Auto is not a solver") (fun () ->
+      E.register E.Auto
+        (module struct
+          let name = "bogus"
+          let solve _ = assert false
+        end : E.Solver_sig))
+
+let wide_instance () =
+  (* 26 attributes: one past the brute-force enumeration limit. *)
+  let attrs = List.init 26 (fun i -> Printf.sprintf "b%02d" i) in
+  Inst.make
+    ~attr_costs:(List.map (fun a -> (a, Q.one)) attrs)
+    ~mods:
+      [ { Inst.m_name = "m"; inputs = attrs; outputs = []; req = Req.Card [ (1, 0) ] } ]
+    ()
+
+let test_brute_refusal () =
+  let inst = wide_instance () in
+  (match Core.Exact.brute_force_checked inst with
+  | Error (Core.Exact.Too_many_attrs { attrs; limit }) ->
+      Alcotest.(check int) "attrs" 26 attrs;
+      Alcotest.(check int) "limit" Core.Exact.brute_force_limit limit
+  | Ok _ -> Alcotest.fail "expected refusal");
+  (match Core.Exact.brute_force inst with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unchecked brute_force must raise on refusal");
+  (* The engine surfaces the refusal in stats instead of raising... *)
+  let r = E.run { (E.default_request inst) with E.meth = E.Brute } in
+  Alcotest.(check bool) "no solution" true (r.E.solution = None);
+  Alcotest.(check bool) "refused stat" true
+    (List.mem_assoc "refused" r.E.stats);
+  (* ...and the portfolio never routes such an instance to brute. *)
+  let auto = E.run { (E.default_request inst) with E.meth = E.Auto } in
+  Alcotest.(check bool) "auto avoids brute" true (auto.E.method_used <> E.Brute);
+  match auto.E.solution with
+  | Some s -> Alcotest.(check bool) "auto feasible" true (Sol.is_feasible inst s)
+  | None -> Alcotest.fail "auto must solve the wide instance"
+
+let test_engine_deadline_gadget () =
+  (* The general set-cover gadget from the bench suite, with the budget
+     already spent: the engine must come back immediately with the
+     greedy incumbent, flagged unproven. *)
+  let sc = Combinat.Set_cover.random (Svutil.Rng.create 44) ~universe:6 ~n_sets:4 in
+  let inst = Reductions.Sc_general.of_set_cover sc in
+  let t0 = Svutil.Deadline.now_ms () in
+  let r =
+    E.run
+      { (E.default_request inst) with E.meth = E.Exact; deadline_ms = Some 0. }
+  in
+  let elapsed_ms = Svutil.Deadline.now_ms () -. t0 in
+  Alcotest.(check bool) "returns promptly" true (elapsed_ms < 5_000.);
+  Alcotest.(check bool) "not proven optimal" false r.E.proven_optimal;
+  Alcotest.(check bool) "deadline_hit" true
+    (List.assoc_opt "deadline_hit" r.E.stats = Some "true");
+  match r.E.solution with
+  | Some s -> Alcotest.(check bool) "incumbent feasible" true (Sol.is_feasible inst s)
+  | None -> Alcotest.fail "gadget has a greedy incumbent"
+
+(* ------------------------------------------------------------------ *)
 (* Properties on random workflow-derived instances                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -445,6 +517,61 @@ let props =
             Sol.is_feasible inst s
             && Q.leq s.Sol.cost (Q.mul (Q.of_int (max 1 (Inst.lmax (Inst.to_sets inst)))) lp)
         | `Infeasible -> false);
+    prop "engine auto matches the directly-invoked method" gen_instance
+      (fun (_, inst) ->
+        let auto = E.run { (E.default_request inst) with E.meth = E.Auto } in
+        let direct =
+          E.run { (E.default_request inst) with E.meth = auto.E.method_used }
+        in
+        direct.E.method_used = auto.E.method_used
+        && direct.E.proven_optimal = auto.E.proven_optimal
+        &&
+        match (auto.E.solution, direct.E.solution) with
+        | Some a, Some b -> Q.equal a.Sol.cost b.Sol.cost
+        | None, None -> true
+        | _ -> false);
+    prop "engine lp method matches direct threshold rounding" gen_instance
+      (fun (_, inst) ->
+        let r = E.run { (E.default_request inst) with E.meth = E.Round_set } in
+        match (Core.Set_lp.lp_relaxation inst, r.E.solution) with
+        | `Optimal (x, bound), Some s ->
+            let direct = Core.Rounding.threshold inst ~x in
+            Q.equal s.Sol.cost direct.Sol.cost
+            && r.E.lower_bound = Some bound
+        | `Infeasible, None -> true
+        | _ -> false);
+    prop "engine exact matches the direct solver" gen_instance
+      (fun (_, inst) ->
+        let r = E.run { (E.default_request inst) with E.meth = E.Exact } in
+        match (Core.Exact.solve inst, r.E.solution) with
+        | Some { Core.Exact.solution; proven_optimal }, Some s ->
+            Q.equal s.Sol.cost solution.Sol.cost
+            && r.E.proven_optimal = proven_optimal
+        | None, None -> true
+        | _ -> false);
+    prop "deadline-expired exact is unproven and no worse than greedy"
+      gen_instance (fun (_, inst) ->
+        let r =
+          E.run
+            {
+              (E.default_request inst) with
+              E.meth = E.Exact;
+              deadline_ms = Some 0.;
+            }
+        in
+        (not r.E.proven_optimal)
+        &&
+        let greedy =
+          match Core.Greedy.solve inst with
+          | g when Sol.is_feasible inst g -> Some g
+          | _ | (exception Invalid_argument _) -> None
+        in
+        match (r.E.solution, greedy) with
+        | Some s, Some g ->
+            Sol.is_feasible inst s && Q.leq s.Sol.cost g.Sol.cost
+        | Some s, None -> Sol.is_feasible inst s
+        | None, Some _ -> false
+        | None, None -> true);
   ]
 
 let () =
@@ -489,6 +616,12 @@ let () =
           Alcotest.test_case "algorithm1 feasible" `Quick test_algorithm1_feasible;
           Alcotest.test_case "threshold bound" `Quick test_threshold_bound;
           Alcotest.test_case "infeasible instance" `Quick test_infeasible_instance;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "registry" `Quick test_engine_registry;
+          Alcotest.test_case "brute refusal" `Quick test_brute_refusal;
+          Alcotest.test_case "deadline on gadget" `Quick test_engine_deadline_gadget;
         ] );
       ("properties", props);
     ]

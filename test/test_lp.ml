@@ -255,6 +255,42 @@ let test_ilp_node_limit () =
   | Lp.Ilp.Feasible _ | Lp.Ilp.Unknown -> ()
   | Lp.Ilp.Infeasible | Lp.Ilp.Unbounded -> Alcotest.fail "feasible and bounded"
 
+let test_ilp_deadline () =
+  (* Same odd-cycle program with an already-expired deadline: the solver
+     must return immediately, flag the hit, and never claim optimality. *)
+  let s =
+    build
+      ~vars:(List.init 5 (fun i -> ivar ~ub:Q.one (Printf.sprintf "x%d" i)))
+      ~constraints:
+        (List.init 5 (fun i -> ([ (i, Q.one); ((i + 1) mod 5, Q.one) ], P.Ge, Q.one)))
+      ~objective:(List.init 5 (fun i -> (i, Q.one)))
+  in
+  let deadline = Svutil.Deadline.after_ms 0. in
+  (match Lp.Ilp.Exact.solve_with_stats ~deadline s with
+  | Lp.Ilp.Optimal _, _ -> Alcotest.fail "cannot prove optimality with no budget"
+  | (Lp.Ilp.Feasible _ | Lp.Ilp.Unknown), stats ->
+      Alcotest.(check bool) "deadline_hit" true stats.Lp.Ilp.deadline_hit
+  | (Lp.Ilp.Infeasible | Lp.Ilp.Unbounded), _ ->
+      Alcotest.fail "feasible and bounded");
+  (* And with no deadline the same program is solved to optimality. *)
+  match Lp.Ilp.Exact.solve s with
+  | Lp.Ilp.Optimal { objective; _ } -> check_q "optimum" (Q.of_int 3) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_deadline_raises () =
+  let s =
+    build
+      ~vars:[ cvar "x"; cvar "y" ]
+      ~constraints:
+        [
+          ([ (0, Q.one); (1, Q.two) ], P.Ge, Q.of_int 4);
+          ([ (0, Q.of_int 3); (1, Q.one) ], P.Ge, Q.of_int 6);
+        ]
+      ~objective:[ (0, Q.two); (1, Q.of_int 3) ]
+  in
+  Alcotest.check_raises "expired deadline" Svutil.Deadline.Expired (fun () ->
+      ignore (Lp.Simplex.Exact.solve ~deadline:(Svutil.Deadline.after_ms 0.) s))
+
 let test_exact_zero_tolerance () =
   (* Regression: the historic solver snapped near-integral values with a
      1e-6 tolerance even under exact arithmetic. Maximizing an integer x
@@ -445,6 +481,8 @@ let () =
           Alcotest.test_case "lp feasible, ip infeasible" `Quick test_ilp_lp_feasible_ip_infeasible;
           Alcotest.test_case "mixed integer" `Quick test_ilp_mixed;
           Alcotest.test_case "node limit" `Quick test_ilp_node_limit;
+          Alcotest.test_case "deadline" `Quick test_ilp_deadline;
+          Alcotest.test_case "simplex deadline raises" `Quick test_simplex_deadline_raises;
           Alcotest.test_case "exact zero tolerance" `Quick test_exact_zero_tolerance;
           Alcotest.test_case "presolve empty rows" `Quick test_presolve_empty_rows;
         ] );

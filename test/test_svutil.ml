@@ -112,6 +112,30 @@ let test_table_too_many_cells () =
   Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
     (fun () -> Table.add_row t [ "a"; "b" ])
 
+let test_deadline_none () =
+  let d = Svutil.Deadline.none in
+  Alcotest.(check bool) "is_none" true (Svutil.Deadline.is_none d);
+  Alcotest.(check bool) "never expires" false (Svutil.Deadline.expired d);
+  Alcotest.(check bool) "no remaining" true
+    (Svutil.Deadline.remaining_ms d = None);
+  Svutil.Deadline.check d;
+  Alcotest.(check bool) "of_ms_opt None" true
+    (Svutil.Deadline.is_none (Svutil.Deadline.of_ms_opt None))
+
+let test_deadline_expiry () =
+  let d = Svutil.Deadline.after_ms 0. in
+  Alcotest.(check bool) "already expired" true (Svutil.Deadline.expired d);
+  Alcotest.check_raises "check raises" Svutil.Deadline.Expired (fun () ->
+      Svutil.Deadline.check d);
+  let far = Svutil.Deadline.after_ms 3_600_000. in
+  Alcotest.(check bool) "future not expired" false (Svutil.Deadline.expired far);
+  (match Svutil.Deadline.remaining_ms far with
+  | Some ms -> Alcotest.(check bool) "remaining positive" true (ms > 0.)
+  | None -> Alcotest.fail "finite deadline has remaining time");
+  match Svutil.Deadline.remaining_ms (Svutil.Deadline.after_ms (-50.)) with
+  | Some ms -> Alcotest.(check (float 0.0)) "remaining clamps at zero" 0. ms
+  | None -> Alcotest.fail "finite deadline has remaining time"
+
 (* Properties ------------------------------------------------------------ *)
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
@@ -204,6 +228,11 @@ let () =
         [
           Alcotest.test_case "worker exception propagates" `Quick test_par_exception;
           Alcotest.test_case "pq clear and peek" `Quick test_pq_clear_and_peek;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "none" `Quick test_deadline_none;
+          Alcotest.test_case "expiry" `Quick test_deadline_expiry;
         ] );
       ("properties", props);
     ]
