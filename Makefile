@@ -1,8 +1,11 @@
-.PHONY: build test bench bench-smoke bench-json bench-compare lint-examples batch-examples clean
+.PHONY: build test bench bench-smoke bench-smoke-json bench-json bench-compare lint-examples batch-examples clean
 
 # Output path for bench-json; override to record a new baseline, e.g.
 #   make bench-json OUT=BENCH_PR2.json
 OUT ?= BENCH.json
+
+# Output path for bench-smoke-json (the CI metrics artifact).
+SMOKE_OUT ?= BENCH_SMOKE.json
 
 # Baselines for bench-compare, e.g.
 #   make bench-compare BASE=BENCH_PR1.json NEW=BENCH_PR3.json
@@ -22,6 +25,12 @@ bench:
 # harness (including the pruned-vs-naive twins) in a few seconds.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Tiny-quota timing pass recorded to JSON: the file carries per-kernel
+# Svutil.Metrics registries (work counts) next to the wall-clock rows,
+# and CI uploads it as a build artifact.
+bench-smoke-json:
+	dune exec bench/main.exe -- --timings --smoke --json $(SMOKE_OUT)
 
 # Full timing run, recorded as a flat JSON baseline.
 bench-json:

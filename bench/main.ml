@@ -6,6 +6,10 @@
    dune exec bench/main.exe -- --timings    -- bechamel timings only
    dune exec bench/main.exe -- --smoke      -- tiny quota (CI sanity run)
    dune exec bench/main.exe -- --json F     -- also write timings to F
+                                               (plus per-kernel metrics)
+   dune exec bench/main.exe -- --metrics    -- time the instrumented
+                                               kernels with a live
+                                               registry (overhead check)
    dune exec bench/main.exe -- --filter R   -- only kernels/experiments
                                                matching regex R (Str syntax)
    dune exec bench/main.exe -- --compare A B -- per-kernel speedups between
@@ -78,15 +82,22 @@ let timing_tests () =
     Wf.Gen.random_workflow (Rng.create 47)
       { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
   in
-  let stage name f = (name, Test.make ~name (Staged.stage f)) in
+  (* [stage] times an uninstrumented kernel; [stage_m] takes the kernel
+     as a function of a metrics registry, so the same closure serves the
+     default nop-registry timing, the [--metrics] live-registry timing,
+     and the one extra instrumented run that fills the [--json]
+     "metrics" object. *)
+  let stage name f = (name, f, None) in
+  let stage_m name f = (name, (fun () -> f Svutil.Metrics.nop), Some f) in
   (* Gadget ILP kernels go through the unified engine, like the CLI and
      the experiment driver; the engine adds one record allocation on top
      of the branch-and-bound, so timings stay comparable to PR3. *)
-  let engine_exact inst =
+  let engine_exact ?(metrics = Svutil.Metrics.nop) inst =
     Core.Engine.run
       {
         (Core.Engine.default_request inst) with
         Core.Engine.meth = Core.Engine.Exact;
+        Core.Engine.metrics;
       }
   in
   let lp_x inst =
@@ -98,15 +109,17 @@ let timing_tests () =
   [
     stage "e01_safety_check" (fun () ->
         ignore (St.is_safe fig1 ~visible:[ "a1"; "a3"; "a5" ] ~gamma:4));
-    stage "e02_worlds_enum" (fun () ->
-        ignore (Privacy.Worlds.count_standalone_worlds fig1 ~visible:[ "a1"; "a3"; "a5" ]));
+    stage_m "e02_worlds_enum" (fun m ->
+        ignore
+          (Privacy.Worlds.count_standalone_worlds ~metrics:m fig1
+             ~visible:[ "a1"; "a3"; "a5" ]));
     stage "e02_worlds_enum_naive" (fun () ->
         ignore
           (Privacy.Worlds_naive.count_standalone_worlds fig1
              ~visible:[ "a1"; "a3"; "a5" ]));
-    stage "e03_workflow_worlds" (fun () ->
+    stage_m "e03_workflow_worlds" (fun m ->
         ignore
-          (Privacy.Worlds.workflow_worlds_functions chain ~public:[]
+          (Privacy.Worlds.workflow_worlds_functions ~metrics:m chain ~public:[]
              ~visible:chain_visible));
     stage "e03_workflow_worlds_naive" (fun () ->
         ignore
@@ -114,14 +127,16 @@ let timing_tests () =
              ~visible:chain_visible));
     stage "e04_greedy_gap" (fun () ->
         ignore (Core.Greedy.solve (Experiments.example5_instance 8)));
-    stage "e05_card_lp_fast" (fun () ->
-        ignore (Core.Card_lp.lp_relaxation ~fast:true card_inst));
-    stage "e05_card_lp_exact" (fun () ->
-        ignore (Core.Card_lp.lp_relaxation ~fast:false card_inst));
-    stage "e05_algorithm1" (fun () ->
-        ignore (Core.Rounding.algorithm1 (Rng.create 7) card_inst ~x:card_x));
-    stage "e06_set_lp_round" (fun () ->
-        match Core.Set_lp.lp_relaxation ~fast:true sets_inst with
+    stage_m "e05_card_lp_fast" (fun m ->
+        ignore (Core.Card_lp.lp_relaxation ~fast:true ~metrics:m card_inst));
+    stage_m "e05_card_lp_exact" (fun m ->
+        ignore (Core.Card_lp.lp_relaxation ~fast:false ~metrics:m card_inst));
+    stage_m "e05_algorithm1" (fun m ->
+        ignore
+          (Core.Rounding.algorithm1 ~metrics:m (Rng.create 7) card_inst
+             ~x:card_x));
+    stage_m "e06_set_lp_round" (fun m ->
+        match Core.Set_lp.lp_relaxation ~fast:true ~metrics:m sets_inst with
         | `Optimal (x, _) -> ignore (Core.Rounding.threshold sets_inst ~x)
         | `Infeasible -> ());
     stage "e07_greedy" (fun () -> ignore (Core.Greedy.solve card_inst));
@@ -135,12 +150,12 @@ let timing_tests () =
     stage "e09_min_cost_search" (fun () ->
         ignore
           (St.min_cost_hidden fig1 ~gamma:4 ~cost:(fun _ -> Rat.one)));
-    stage "e10_setcover_gadget_ilp" (fun () ->
-        ignore (engine_exact (Reductions.Sc_card.of_set_cover sc)));
-    stage "e11_labelcover_gadget_ilp" (fun () ->
-        ignore (engine_exact (Reductions.Lc_set.of_label_cover lc)));
-    stage "e12_vertexcover_gadget_ilp" (fun () ->
-        ignore (engine_exact (Reductions.Vc_nosharing.of_vertex_cover g)));
+    stage_m "e10_setcover_gadget_ilp" (fun m ->
+        ignore (engine_exact ~metrics:m (Reductions.Sc_card.of_set_cover sc)));
+    stage_m "e11_labelcover_gadget_ilp" (fun m ->
+        ignore (engine_exact ~metrics:m (Reductions.Lc_set.of_label_cover lc)));
+    stage_m "e12_vertexcover_gadget_ilp" (fun m ->
+        ignore (engine_exact ~metrics:m (Reductions.Vc_nosharing.of_vertex_cover g)));
     stage "e13_brute_out_size" (fun () ->
         ignore
           (Privacy.Wprivacy.min_out_size_brute chain ~public:[]
@@ -149,39 +164,68 @@ let timing_tests () =
         ignore
           (naive_min_out_size chain ~public:[] ~visible:chain_visible
              ~module_name:"m2"));
-    stage "e14_general_gadget_ilp" (fun () ->
-        ignore (engine_exact (Reductions.Sc_general.of_set_cover sc)));
-    stage "e15_general_lc_gadget_ilp" (fun () ->
-        ignore (engine_exact (Reductions.Lc_general.of_label_cover lc)));
+    stage_m "e14_general_gadget_ilp" (fun m ->
+        ignore (engine_exact ~metrics:m (Reductions.Sc_general.of_set_cover sc)));
+    stage_m "e15_general_lc_gadget_ilp" (fun m ->
+        ignore (engine_exact ~metrics:m (Reductions.Lc_general.of_label_cover lc)));
     stage "e16_compose_check" (fun () ->
         ignore (Privacy.Wprivacy.compose_safe tiny_wf ~gamma:2 ~hidden:[]));
-    stage "e17_lp_variants" (fun () ->
-        ignore (Core.Card_lp.lp_relaxation ~variant:Core.Card_lp.No_sum_bound ~fast:true card_inst));
+    stage_m "e17_lp_variants" (fun m ->
+        ignore
+          (Core.Card_lp.lp_relaxation ~variant:Core.Card_lp.No_sum_bound
+             ~fast:true ~metrics:m card_inst));
     stage "e18_derive_requirement" (fun () ->
         ignore (Core.Derive.requirement fig1 ~gamma:4));
   ]
 
 (* Flat { "test": ns_per_run } object; hand-rolled since the estimates
-   are plain floats and names are ASCII identifiers. *)
-let write_json path rows =
+   are plain floats and names are ASCII identifiers. When instrumented
+   kernels are present, a trailing "metrics" object maps each kernel to
+   its {!Svutil.Metrics} registry (work counts for one run), so BENCH
+   files record what the kernels did, not just how long they took.
+   [read_bench_json] stops scanning at the "metrics" key. *)
+let write_json path rows metrics_rows =
   let oc = open_out path in
   output_string oc "{\n";
   List.iteri
     (fun i (name, est) ->
       Printf.fprintf oc "  %S: %s%s\n" name
         (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
-        (if i = List.length rows - 1 then "" else ","))
+        (if i = List.length rows - 1 && metrics_rows = [] then "" else ","))
     rows;
+  if metrics_rows <> [] then begin
+    output_string oc "  \"metrics\": {\n";
+    List.iteri
+      (fun i (name, json) ->
+        Printf.fprintf oc "    %S: %s%s\n" name json
+          (if i = List.length metrics_rows - 1 then "" else ","))
+      metrics_rows;
+    output_string oc "  }\n"
+  end;
   output_string oc "}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_timings ~smoke ~json ~matches =
-  print_endline "\n== Bechamel timings (ns per run, OLS fit) ==";
+let run_timings ~smoke ~live ~json ~matches =
+  print_endline
+    (if live then "\n== Bechamel timings (ns per run, OLS fit; live metrics) =="
+     else "\n== Bechamel timings (ns per run, OLS fit) ==");
+  let entries =
+    timing_tests () |> List.filter (fun (name, _, _) -> matches name)
+  in
+  (* With --metrics, each instrumented kernel is timed writing into its
+     own live registry (reused across iterations, like a long-running
+     solve would); the default times the nop registry, so comparing the
+     two --json files measures the enabled-metrics overhead. *)
   let tests =
-    timing_tests ()
-    |> List.filter (fun (name, _) -> matches name)
-    |> List.map snd
+    List.map
+      (fun (name, plain, m) ->
+        match m with
+        | Some f when live ->
+            let reg = Svutil.Metrics.create () in
+            Test.make ~name (Staged.stage (fun () -> f reg))
+        | _ -> Test.make ~name (Staged.stage plain))
+      entries
   in
   if tests = [] then print_endline "(no timing kernel matches the filter)"
   else begin
@@ -211,13 +255,30 @@ let run_timings ~smoke ~json ~matches =
         Svutil.Table.add_row table [ name; s ])
       rows;
     Svutil.Table.print table;
-    Option.iter (fun path -> write_json path rows) json
+    Option.iter
+      (fun path ->
+        (* One extra instrumented run per kernel, outside the timing
+           loop, fills the embedded work-count registries. *)
+        let metrics_rows =
+          List.filter_map
+            (fun (name, _, m) ->
+              Option.bind m (fun f ->
+                  let reg = Svutil.Metrics.create () in
+                  f reg;
+                  if Svutil.Metrics.is_empty reg then None
+                  else Some (name, Svutil.Metrics.to_json reg)))
+            entries
+        in
+        write_json path rows metrics_rows)
+      json
   end
 
 (* {2 Baseline comparison: --compare BASE NEW} *)
 
 (* Reads the flat { "name": ns } objects written by [write_json]; [null]
-   estimates are skipped. *)
+   estimates are skipped, and scanning stops at the optional trailing
+   "metrics" object so embedded counter values are never mistaken for
+   kernel timings. *)
 let read_bench_json path =
   let ic =
     try open_in path
@@ -227,6 +288,11 @@ let read_bench_json path =
   in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
+  let s =
+    match Str.search_forward (Str.regexp_string {|"metrics"|}) s 0 with
+    | exception Not_found -> s
+    | i -> String.sub s 0 i
+  in
   let re = Str.regexp {|"\([^"]+\)"[ \t]*:[ \t]*\([0-9.eE+-]+\|null\)|} in
   let rec go pos acc =
     match Str.search_forward re s pos with
@@ -323,6 +389,7 @@ let () =
       let timings_only = List.mem "--timings" args in
       let no_timings = List.mem "--no-timings" args in
       let smoke = List.mem "--smoke" args in
+      let live = List.mem "--metrics" args in
       let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
       if (not timings_only) && not smoke then begin
         print_endline "Provenance Views for Module Privacy - experiment harness";
@@ -332,4 +399,5 @@ let () =
             if (selected = [] || List.mem name selected) && matches name then run ())
           Experiments.all
       end;
-      if (not no_timings) && selected = [] then run_timings ~smoke ~json ~matches
+      if (not no_timings) && selected = [] then
+        run_timings ~smoke ~live ~json ~matches

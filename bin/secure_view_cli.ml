@@ -236,6 +236,19 @@ let solve_json_arg =
            ~doc:"Emit results as JSON, including branch-and-bound search \
                  statistics for the exact method.")
 
+let metrics_arg =
+  let modes = Arg.enum [ ("none", `None); ("json", `Json) ] in
+  Arg.(value & opt modes `None
+       & info [ "metrics" ] ~docv:"FMT"
+           ~doc:"Collect solver-stack work counters (simplex pivots, \
+                 branch-and-bound nodes, rounding trials) and phase spans. \
+                 $(b,json) emits them as a JSON object per solve; \
+                 $(b,none) (default) collects nothing and costs nothing.")
+
+let metrics_of = function
+  | `None -> Svutil.Metrics.nop
+  | `Json -> Svutil.Metrics.create ()
+
 (* Minimal JSON emission; attribute and module names are identifiers. *)
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -286,12 +299,18 @@ let json_engine_result (r : Core.Engine.result) =
         ( "stats",
           json_assoc (List.map (fun (k, v) -> (k, json_str v)) r.Core.Engine.stats)
         );
-      ])
+      ]
+    (* Live registries (--metrics json) ride along; the nop default adds
+       nothing to the output. *)
+    @ (if Svutil.Metrics.enabled r.Core.Engine.metrics then
+         [ ("metrics", Svutil.Metrics.to_json r.Core.Engine.metrics) ]
+       else []))
 
 let stat_true (r : Core.Engine.result) key =
   List.assoc_opt key r.Core.Engine.stats = Some "true"
 
-let request_of inst ~meth ~node_limit ~fast ~jobs ~seed ~deadline_ms ~trials =
+let request_of inst ~meth ~node_limit ~fast ~jobs ~seed ~deadline_ms ~trials
+    ~metrics =
   {
     (Core.Engine.default_request inst) with
     Core.Engine.meth;
@@ -301,10 +320,12 @@ let request_of inst ~meth ~node_limit ~fast ~jobs ~seed ~deadline_ms ~trials =
     seed;
     deadline_ms;
     trials;
+    metrics;
   }
 
 let solve_cmd =
-  let run file meth emit_view node_limit lp_solver jobs json seed deadline trials =
+  let run file meth emit_view node_limit lp_solver jobs json seed deadline
+      trials metrics_mode =
     let spec = load ~preflight:true file in
     let inst = instance_of spec in
     let fast = match lp_solver with `Fast -> true | `Exact -> false in
@@ -316,7 +337,7 @@ let solve_cmd =
     let run_method (key, meth) =
       let req =
         request_of inst ~meth ~node_limit ~fast ~jobs ~seed
-          ~deadline_ms:deadline ~trials
+          ~deadline_ms:deadline ~trials ~metrics:(metrics_of metrics_mode)
       in
       let r = Core.Engine.run req in
       if not json then begin
@@ -343,7 +364,10 @@ let solve_cmd =
             (Option.value ~default:"?" (List.assoc_opt "node_limit" r.Core.Engine.stats))
             (Option.value ~default:"?" (List.assoc_opt "nodes" r.Core.Engine.stats));
         if stat_true r "deadline_hit" then
-          print_endline "(deadline reached; result is not proven optimal)"
+          print_endline "(deadline reached; result is not proven optimal)";
+        if Svutil.Metrics.enabled r.Core.Engine.metrics then
+          Printf.printf "metrics %s %s\n" key
+            (Svutil.Metrics.to_json r.Core.Engine.metrics)
       end;
       field key (json_engine_result r);
       r.Core.Engine.solution
@@ -373,7 +397,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve the workflow Secure-View problem.")
     Term.(const run $ file_arg $ method_arg $ emit_view_arg $ node_limit_arg
           $ lp_solver_arg $ jobs_arg $ solve_json_arg $ seed_arg $ deadline_arg
-          $ trials_arg)
+          $ trials_arg $ metrics_arg)
 
 (* batch ----------------------------------------------------------------- *)
 
@@ -382,7 +406,8 @@ let batch_cmd =
     Arg.(non_empty & pos_all file []
          & info [] ~docv:"FILES" ~doc:"Workflow description files.")
   in
-  let run files (_, meth) node_limit lp_solver jobs seed deadline trials =
+  let run files (_, meth) node_limit lp_solver jobs seed deadline trials
+      metrics_mode =
     let fast = match lp_solver with `Fast -> true | `Exact -> false in
     (* One JSON line per file; a file that fails to parse, lint, or
        solve yields an "ok":false line instead of aborting the batch.
@@ -406,9 +431,12 @@ let batch_cmd =
                   false )
             | [] ->
                 let inst = instance_of spec in
+                (* Fresh registry per file: parallel batch workers never
+                   share a live registry. *)
                 let req =
                   request_of inst ~meth ~node_limit ~fast ~jobs:1
                     ~seed:(seed + idx) ~deadline_ms:deadline ~trials
+                    ~metrics:(metrics_of metrics_mode)
                 in
                 let r = Core.Engine.run req in
                 ( Printf.sprintf {|{"file":%s,"ok":true,"result":%s}|}
@@ -431,7 +459,8 @@ let batch_cmd =
              file. Files are processed in parallel with --jobs; the output \
              (order and content) does not depend on the job count.")
     Term.(const run $ files_arg $ batch_method_arg $ node_limit_arg
-          $ lp_solver_arg $ jobs_arg $ seed_arg $ deadline_arg $ trials_arg)
+          $ lp_solver_arg $ jobs_arg $ seed_arg $ deadline_arg $ trials_arg
+          $ metrics_arg)
 
 (* check ------------------------------------------------------------------ *)
 

@@ -34,6 +34,7 @@ val lp_relaxation :
   ?variant:variant ->
   ?fast:bool ->
   ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   [ `Optimal of (string -> Rat.t) * Rat.t | `Infeasible ]
 (** Solve the LP relaxation; returns the hidden-indicator values

@@ -28,6 +28,7 @@ type request = {
   jobs : int;
   seed : int;
   trials : int;
+  metrics : Svutil.Metrics.t;
 }
 
 let default_request inst =
@@ -40,6 +41,7 @@ let default_request inst =
     jobs = 1;
     seed = 0;
     trials = 4;
+    metrics = Svutil.Metrics.nop;
   }
 
 type result = {
@@ -50,6 +52,7 @@ type result = {
   timings : (string * float) list;
   stats : (string * string) list;
   method_used : meth;
+  metrics : Svutil.Metrics.t;
 }
 
 module type Solver_sig = sig
@@ -57,17 +60,17 @@ module type Solver_sig = sig
   val solve : request -> result
 end
 
-(* Phase timing: each solver accumulates [(label, ms)] pairs in reverse
-   and [make_result] appends the total, so [timings] reads
-   chronologically with ["total"] last. *)
-let phase phases label f =
-  let t0 = D.now_ms () in
-  let r = f () in
-  phases := (label, D.now_ms () -. t0) :: !phases;
+(* Phase timing: one clock-read pair per phase feeds both the registry
+   (as a span nested under [run]'s "solve" span) and the [(label, ms)]
+   pairs that [timings] reports, so the two can never disagree. Solvers
+   accumulate phases in reverse; [run] appends the total. *)
+let phase metrics phases label f =
+  let r, ms = Svutil.Metrics.timed metrics label f in
+  phases := (label, ms) :: !phases;
   r
 
-let make_result ~t0 ~phases ~method_used ?(stats = []) ?solution ?lower_bound
-    ?(proven_optimal = false) () =
+let make_result ~metrics ~phases ~method_used ?(stats = []) ?solution
+    ?lower_bound ?(proven_optimal = false) () =
   let ratio =
     match (solution, lower_bound) with
     | Some _, _ when proven_optimal -> Some 1.0
@@ -81,9 +84,10 @@ let make_result ~t0 ~phases ~method_used ?(stats = []) ?solution ?lower_bound
     lower_bound;
     proven_optimal;
     ratio;
-    timings = List.rev (("total", D.now_ms () -. t0) :: !phases);
+    timings = List.rev !phases;
     stats;
     method_used;
+    metrics;
   }
 
 let greedy_solution inst =
@@ -94,25 +98,28 @@ let greedy_solution inst =
 (* When an LP-rounding method's relaxation blows its budget, fall back
    to the greedy solution rather than returning nothing: the engine
    contract is that a deadline hit degrades quality, not availability. *)
-let greedy_fallback ~t0 ~phases ~method_used ~stats req =
+let greedy_fallback ~phases ~method_used ~stats (req : request) =
   let solution =
-    phase phases "greedy-fallback" (fun () -> greedy_solution req.inst)
+    phase req.metrics phases "greedy-fallback" (fun () ->
+        greedy_solution req.inst)
   in
-  make_result ~t0 ~phases ~method_used
+  make_result ~metrics:req.metrics ~phases ~method_used
     ~stats:(("deadline_hit", "true") :: stats)
     ?solution ()
 
 module Greedy_solver = struct
   let name = "greedy"
 
-  let solve req =
-    let t0 = D.now_ms () in
+  let solve (req : request) =
     let phases = ref [] in
-    let solution = phase phases "greedy" (fun () -> greedy_solution req.inst) in
+    let solution =
+      phase req.metrics phases "greedy" (fun () -> greedy_solution req.inst)
+    in
     let stats =
       match solution with None -> [ ("infeasible", "true") ] | Some _ -> []
     in
-    make_result ~t0 ~phases ~method_used:Greedy ~stats ?solution ()
+    make_result ~metrics:req.metrics ~phases ~method_used:Greedy ~stats
+      ?solution ()
 end
 
 module Round_card_solver = struct
@@ -121,11 +128,10 @@ module Round_card_solver = struct
   (* Algorithm 1 (Theorem 5). The relaxation runs over exact rationals
      regardless of [req.fast]: the rounding guarantee does not survive
      float round-off of the x values. *)
-  let solve req =
-    let t0 = D.now_ms () in
+  let solve (req : request) =
     let phases = ref [] in
     if not (Exact.all_cardinality req.inst) then
-      make_result ~t0 ~phases ~method_used:Round_card
+      make_result ~metrics:req.metrics ~phases ~method_used:Round_card
         ~stats:
           [
             ( "refused",
@@ -135,26 +141,28 @@ module Round_card_solver = struct
     else
       let deadline = D.of_ms_opt req.deadline_ms in
       match
-        phase phases "lp" (fun () -> Card_lp.lp_relaxation ~deadline req.inst)
+        phase req.metrics phases "lp" (fun () ->
+            Card_lp.lp_relaxation ~deadline ~metrics:req.metrics req.inst)
       with
       | exception D.Expired ->
-          greedy_fallback ~t0 ~phases ~method_used:Round_card ~stats:[] req
+          greedy_fallback ~phases ~method_used:Round_card ~stats:[] req
       | `Infeasible ->
-          make_result ~t0 ~phases ~method_used:Round_card
+          make_result ~metrics:req.metrics ~phases ~method_used:Round_card
             ~stats:[ ("infeasible", "true") ]
             ()
       | `Optimal (x, bound) ->
           let trials = max 1 req.trials in
           let solution =
-            phase phases "round" (fun () ->
+            phase req.metrics phases "round" (fun () ->
                 let base = Svutil.Rng.create req.seed in
                 let rngs =
                   Array.init trials (fun _ -> Svutil.Rng.split base)
                 in
                 Rounding.best_of trials (fun i ->
-                    Rounding.algorithm1 rngs.(i) req.inst ~x))
+                    Rounding.algorithm1 ~metrics:req.metrics rngs.(i) req.inst
+                      ~x))
           in
-          make_result ~t0 ~phases ~method_used:Round_card
+          make_result ~metrics:req.metrics ~phases ~method_used:Round_card
             ~stats:[ ("trials", string_of_int trials) ]
             ~solution ~lower_bound:bound ()
 end
@@ -162,24 +170,25 @@ end
 module Round_set_solver = struct
   let name = "round-set"
 
-  let solve req =
-    let t0 = D.now_ms () in
+  let solve (req : request) =
     let phases = ref [] in
     let deadline = D.of_ms_opt req.deadline_ms in
     match
-      phase phases "lp" (fun () -> Set_lp.lp_relaxation ~deadline req.inst)
+      phase req.metrics phases "lp" (fun () ->
+          Set_lp.lp_relaxation ~deadline ~metrics:req.metrics req.inst)
     with
     | exception D.Expired ->
-        greedy_fallback ~t0 ~phases ~method_used:Round_set ~stats:[] req
+        greedy_fallback ~phases ~method_used:Round_set ~stats:[] req
     | `Infeasible ->
-        make_result ~t0 ~phases ~method_used:Round_set
+        make_result ~metrics:req.metrics ~phases ~method_used:Round_set
           ~stats:[ ("infeasible", "true") ]
           ()
     | `Optimal (x, bound) ->
         let solution =
-          phase phases "round" (fun () -> Rounding.threshold req.inst ~x)
+          phase req.metrics phases "round" (fun () ->
+              Rounding.threshold req.inst ~x)
         in
-        make_result ~t0 ~phases ~method_used:Round_set
+        make_result ~metrics:req.metrics ~phases ~method_used:Round_set
           ~stats:
             [ ("lmax", string_of_int (Instance.lmax (Instance.to_sets req.inst))) ]
           ~solution ~lower_bound:bound ()
@@ -188,14 +197,13 @@ end
 module Exact_solver = struct
   let name = "exact"
 
-  let solve req =
-    let t0 = D.now_ms () in
+  let solve (req : request) =
     let phases = ref [] in
     let deadline = D.of_ms_opt req.deadline_ms in
     let outcome, (st : Lp.Ilp.stats) =
-      phase phases "search" (fun () ->
+      phase req.metrics phases "search" (fun () ->
           Exact.solve_with_stats ~node_limit:req.node_limit ~fast:req.fast
-            ~jobs:req.jobs ~deadline req.inst)
+            ~jobs:req.jobs ~deadline ~metrics:req.metrics req.inst)
     in
     let stats =
       [
@@ -215,10 +223,10 @@ module Exact_solver = struct
           if proven_optimal then Some solution.Solution.cost
           else st.root_bound
         in
-        make_result ~t0 ~phases ~method_used:Exact ~stats ~solution
-          ?lower_bound ~proven_optimal ()
+        make_result ~metrics:req.metrics ~phases ~method_used:Exact ~stats
+          ~solution ?lower_bound ~proven_optimal ()
     | None ->
-        make_result ~t0 ~phases ~method_used:Exact
+        make_result ~metrics:req.metrics ~phases ~method_used:Exact
           ~stats:(("infeasible", "true") :: stats)
           ()
 end
@@ -226,14 +234,14 @@ end
 module Brute_solver = struct
   let name = "brute"
 
-  let solve req =
-    let t0 = D.now_ms () in
+  let solve (req : request) =
     let phases = ref [] in
     match
-      phase phases "enumerate" (fun () -> Exact.brute_force_checked req.inst)
+      phase req.metrics phases "enumerate" (fun () ->
+          Exact.brute_force_checked req.inst)
     with
     | Error (Exact.Too_many_attrs { attrs; limit } as r) ->
-        make_result ~t0 ~phases ~method_used:Brute
+        make_result ~metrics:req.metrics ~phases ~method_used:Brute
           ~stats:
             [
               ("refused", Exact.refusal_to_string r);
@@ -242,11 +250,11 @@ module Brute_solver = struct
             ]
           ()
     | Ok None ->
-        make_result ~t0 ~phases ~method_used:Brute
+        make_result ~metrics:req.metrics ~phases ~method_used:Brute
           ~stats:[ ("infeasible", "true") ]
           ()
     | Ok (Some s) ->
-        make_result ~t0 ~phases ~method_used:Brute ~solution:s
+        make_result ~metrics:req.metrics ~phases ~method_used:Brute ~solution:s
           ~lower_bound:s.Solution.cost ~proven_optimal:true ()
 end
 
@@ -298,5 +306,15 @@ let run req =
   | None ->
       invalid_arg ("Engine.run: no solver registered for " ^ meth_to_string m)
   | Some (module S) ->
-      let r = S.solve { req with meth = m } in
-      { r with method_used = m }
+      (* The whole solve runs inside a "solve" span, so per-phase spans
+         nest under "solve/..." and the same measurement yields the
+         "total" timing entry. *)
+      let r, total_ms =
+        Svutil.Metrics.timed req.metrics "solve" (fun () ->
+            S.solve { req with meth = m })
+      in
+      {
+        r with
+        method_used = m;
+        timings = r.timings @ [ ("total", total_ms) ];
+      }

@@ -40,11 +40,18 @@ type request = {
   jobs : int;  (** concurrent branch-and-bound node evaluations *)
   seed : int;  (** RNG seed for randomized rounding trials *)
   trials : int;  (** rounding trials; the cheapest solution wins *)
+  metrics : Svutil.Metrics.t;
+      (** observability registry threaded through every layer the solve
+          touches (simplex, branch-and-bound, rounding); the default
+          {!Svutil.Metrics.nop} records nothing at no measurable cost.
+          Pass a fresh {!Svutil.Metrics.create} per request — live
+          registries are not shared between concurrent solves. *)
 }
 
 val default_request : Instance.t -> request
 (** [meth = Auto], no deadline, {!Lp.Ilp.default_node_limit} nodes,
-    [fast = true], [jobs = 1], [seed = 0], [trials = 4]. *)
+    [fast = true], [jobs = 1], [seed = 0], [trials = 4],
+    [metrics = Svutil.Metrics.nop]. *)
 
 type result = {
   solution : Solution.t option;  (** [None] = infeasible or refused *)
@@ -62,6 +69,12 @@ type result = {
       (** method-specific counters and flags, e.g. branch-and-bound
           [nodes], [deadline_hit], or a brute-force [refused] reason *)
   method_used : meth;  (** never [Auto]: what actually ran *)
+  metrics : Svutil.Metrics.t;
+      (** the request's registry, carried along for reporting. After
+          {!run} it holds the layer counters (e.g. [ilp.nodes], always
+          equal to the [nodes] stat) and the phase spans nested under
+          ["solve"], whose measurements are the same clock reads that
+          produced [timings]. *)
 }
 
 module type Solver_sig = sig
@@ -91,4 +104,7 @@ val choose : request -> meth
 
 val run : request -> result
 (** Resolve [Auto] via {!choose}, look the method up in the registry,
-    and solve. [result.method_used] records the concrete method. *)
+    and solve. [result.method_used] records the concrete method. The
+    whole solve runs inside a ["solve"] metrics span whose measurement
+    also provides the ["total"] timings entry (solver phases appear
+    under ["solve/<phase>"] in the registry). *)

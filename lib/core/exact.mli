@@ -23,6 +23,7 @@ val solve :
   ?fast:bool ->
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   outcome option
 (** [None] when the instance is infeasible. [fast] uses the float
@@ -42,6 +43,7 @@ val solve_with_stats :
   ?fast:bool ->
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   outcome option * Lp.Ilp.stats
 (** Like {!solve}, also reporting branch-and-bound search statistics
@@ -68,6 +70,10 @@ val brute_force : Instance.t -> Solution.t option
     Prefer the checked variant in new code. *)
 
 val lower_bound :
-  ?fast:bool -> ?deadline:Svutil.Deadline.t -> Instance.t -> Rat.t option
+  ?fast:bool ->
+  ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
+  Instance.t ->
+  Rat.t option
 (** The LP-relaxation bound used in approximation-ratio reporting. May
     raise {!Svutil.Deadline.Expired}. *)

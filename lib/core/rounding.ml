@@ -36,7 +36,8 @@ let satisfied (m : Instance.module_req) ~hidden =
   Requirement.is_satisfied m.Instance.req ~inputs:m.Instance.inputs
     ~outputs:m.Instance.outputs ~hidden
 
-let algorithm1 rng inst ~x =
+let algorithm1 ?(metrics = Svutil.Metrics.nop) rng inst ~x =
+  Svutil.Metrics.tick metrics "rounding.trials";
   let n = max 2 (Instance.n_modules inst) in
   let log_n = Float.log (float_of_int n) in
   (* Step 2: independent rounding at probability min(1, 16 x_b log n). *)
@@ -51,7 +52,11 @@ let algorithm1 rng inst ~x =
   let hidden =
     List.fold_left
       (fun hidden m ->
-        if satisfied m ~hidden then hidden else cheapest_option inst m @ hidden)
+        if satisfied m ~hidden then hidden
+        else begin
+          Svutil.Metrics.tick metrics "rounding.repairs";
+          cheapest_option inst m @ hidden
+        end)
       hidden inst.Instance.mods
   in
   Solution.of_hidden inst hidden

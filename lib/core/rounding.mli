@@ -14,11 +14,17 @@ val cheapest_option : Instance.t -> Instance.module_req -> string list
     @raise Invalid_argument if the requirement list is empty. *)
 
 val algorithm1 :
-  Svutil.Rng.t -> Instance.t -> x:(string -> Rat.t) -> Solution.t
+  ?metrics:Svutil.Metrics.t ->
+  Svutil.Rng.t ->
+  Instance.t ->
+  x:(string -> Rat.t) ->
+  Solution.t
 (** Step 2 hides each attribute [b] independently with probability
     [min(1, 16 x_b ln n)]; step 3 adds [B_i^min] for every module whose
     requirement is still unsatisfied. Exposed public modules are
-    privatized. *)
+    privatized. [metrics] (default {!Svutil.Metrics.nop}) receives
+    [rounding.trials] (one per call) and [rounding.repairs] (one per
+    step-3 module repair). *)
 
 val threshold : Instance.t -> x:(string -> Rat.t) -> Solution.t
 (** Hide [{b : x_b >= 1/l_max}]; privatize exposed publics. *)

@@ -24,6 +24,7 @@ val build : Instance.t -> built
 val lp_relaxation :
   ?fast:bool ->
   ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   [ `Optimal of (string -> Rat.t) * Rat.t | `Infeasible ]
 (** [deadline] is polled inside the simplex pivot loops; on expiry

@@ -85,8 +85,12 @@ module Make (Solver : Simplex.SOLVER) = struct
     if c <> 0 then c else compare b.seq a.seq (* newest first among ties *)
 
   let solve_with_stats ?(node_limit = default_node_limit) ?cutoff ?(jobs = 1)
-      ?(deadline = Svutil.Deadline.none) (s : Problem.snapshot) =
+      ?(deadline = Svutil.Deadline.none) ?(metrics = Svutil.Metrics.nop)
+      (s : Problem.snapshot) =
     let finished ?root_bound ?(deadline_hit = false) nodes limit_hit =
+      (* Single source of truth: the same [nodes] count feeds both the
+         stats record and the registry, so the two can never drift. *)
+      Svutil.Metrics.count metrics "ilp.nodes" nodes;
       { nodes; node_limit; limit_hit; deadline_hit; root_bound }
     in
     (* A budget that is already spent buys no work at all — not even
@@ -98,6 +102,7 @@ module Make (Solver : Simplex.SOLVER) = struct
       match Presolve.run s with
       | Presolve.Infeasible -> (Infeasible, finished 0 false)
       | Presolve.Solved { values } ->
+          Svutil.Metrics.count metrics "ilp.presolve_fixed" s.Problem.n;
           let objective = Linexpr.eval s.Problem.objective (fun v -> values.(v)) in
           let ok = match cutoff with None -> true | Some c -> Rat.lt objective c in
           let finished = finished ~root_bound:objective in
@@ -105,6 +110,7 @@ module Make (Solver : Simplex.SOLVER) = struct
           else (Infeasible, finished 0 false)
       | Presolve.Reduced { problem = p; restore } ->
         let jobs = max 1 jobs in
+        Svutil.Metrics.count metrics "ilp.presolve_fixed" (s.Problem.n - p.Problem.n);
         (* The cutoff lives in the original objective space; fixed
            variables contribute a constant the reduced objective lacks. *)
         let kappa =
@@ -134,7 +140,10 @@ module Make (Solver : Simplex.SOLVER) = struct
               values
           in
           let obj = Linexpr.eval p.Problem.objective (fun v -> snapped.(v)) in
-          if not (dominated obj) then best := Some (obj, snapped)
+          if not (dominated obj) then begin
+            Svutil.Metrics.tick metrics "ilp.incumbents";
+            best := Some (obj, snapped)
+          end
         in
         (* Candidate incumbents from the root relaxation: nearest-integer
            and ceiling roundings of the integer variables, admitted only
@@ -160,15 +169,27 @@ module Make (Solver : Simplex.SOLVER) = struct
         in
         (* One lazily-created warm solver state per worker slot; a slot
            is used by at most one domain per round, and rounds are
-           separated by joins. *)
+           separated by joins. Each slot also gets its own metrics
+           registry — a live registry is not thread-safe, so workers
+           never share one; the slots are absorbed into [metrics] after
+           the search loop. *)
         let states = Array.make jobs None in
+        let slot_metrics =
+          Array.init jobs (fun _ ->
+              if Svutil.Metrics.enabled metrics then Svutil.Metrics.create ()
+              else Svutil.Metrics.nop)
+        in
         let node_solve slot ~lb ~ub =
           (match states.(slot) with
-          | None -> states.(slot) <- Some (Solver.warm_create ~deadline p)
+          | None ->
+              states.(slot) <-
+                Some (Solver.warm_create ~deadline ~metrics:slot_metrics.(slot) p)
           | Some _ -> ());
           match states.(slot) with
           | Some (Some w) -> Solver.warm_solve ~deadline w ~lb ~ub
-          | _ -> Solver.solve ~deadline (Problem.with_bounds p ~lb ~ub)
+          | _ ->
+              Solver.solve ~deadline ~metrics:slot_metrics.(slot)
+                (Problem.with_bounds p ~lb ~ub)
         in
         let pq = Svutil.Pq.create ~cmp:node_cmp in
         let seq = ref 0 in
@@ -197,17 +218,19 @@ module Make (Solver : Simplex.SOLVER) = struct
           | Simplex.Optimal { objective; values } ->
               if not (dominated objective) then
                 push_children objective nd_lb nd_ub values
+              else Svutil.Metrics.tick metrics "ilp.pruned_bound"
         in
         (* Root node: [warm_create] already solved it, so reuse its
            optimum rather than reoptimizing under unchanged bounds. *)
         incr nodes;
         (match
            (try
-              states.(0) <- Some (Solver.warm_create ~deadline p);
+              states.(0) <-
+                Some (Solver.warm_create ~deadline ~metrics:slot_metrics.(0) p);
               `Solved
                 (match states.(0) with
                 | Some (Some w) -> Solver.warm_root w
-                | _ -> Solver.solve ~deadline p)
+                | _ -> Solver.solve ~deadline ~metrics:slot_metrics.(0) p)
             with Svutil.Deadline.Expired -> `Timeout)
          with
         | `Timeout -> deadline_hit := true
@@ -218,7 +241,8 @@ module Make (Solver : Simplex.SOLVER) = struct
             if not (dominated objective) then begin
               seed_incumbent values;
               push_children objective p.Problem.lb p.Problem.ub values
-            end);
+            end
+            else Svutil.Metrics.tick metrics "ilp.pruned_bound");
         (* Best-first loop, evaluating up to [jobs] open nodes per round. *)
         let continue_ = ref true in
         while
@@ -228,7 +252,9 @@ module Make (Solver : Simplex.SOLVER) = struct
           (* The queue is ordered by bound: once the top is dominated,
              everything is, and the incumbent is proven optimal. *)
           (match (Svutil.Pq.peek pq, current_cut ()) with
-          | Some top, Some c when Rat.geq top.bound c -> Svutil.Pq.clear pq
+          | Some top, Some c when Rat.geq top.bound c ->
+              Svutil.Metrics.count metrics "ilp.pruned_bound" (Svutil.Pq.length pq);
+              Svutil.Pq.clear pq
           | _ -> ());
           if Svutil.Pq.is_empty pq then continue_ := false
           else if Svutil.Deadline.expired deadline then deadline_hit := true
@@ -264,6 +290,7 @@ module Make (Solver : Simplex.SOLVER) = struct
               batch results
           end
         done;
+        Array.iter (fun wm -> Svutil.Metrics.absorb metrics wm) slot_metrics;
         Log.debug (fun m ->
             m "explored %d nodes (limit %d, %d vars)%s" !nodes node_limit
               s.Problem.n
@@ -292,8 +319,8 @@ module Make (Solver : Simplex.SOLVER) = struct
           | None, true -> (Unknown, stats)
           | None, false -> (Infeasible, stats))
 
-  let solve ?node_limit ?cutoff ?jobs ?deadline s =
-    fst (solve_with_stats ?node_limit ?cutoff ?jobs ?deadline s)
+  let solve ?node_limit ?cutoff ?jobs ?deadline ?metrics s =
+    fst (solve_with_stats ?node_limit ?cutoff ?jobs ?deadline ?metrics s)
 
   (* The pre-overhaul recursive depth-first solver, verbatim: cold LP
      solve per node, fixed 1e-6 snapping tolerance. Kept as the oracle

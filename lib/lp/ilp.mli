@@ -46,6 +46,7 @@ module Make (_ : Simplex.SOLVER) : sig
     ?cutoff:Rat.t ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
     Problem.snapshot ->
     result
   (** [node_limit] defaults to {!default_node_limit}. [cutoff] prunes
@@ -60,13 +61,22 @@ module Make (_ : Simplex.SOLVER) : sig
       the simplex pivot loops: when it expires the search stops and the
       best incumbent is returned as [Feasible] ([Unknown] if there is
       none) with [stats.deadline_hit] set — a deadline hit never claims
-      [Optimal]. *)
+      [Optimal].
+
+      [metrics] (default {!Svutil.Metrics.nop}) receives [ilp.nodes]
+      (always equal to [stats.nodes]), [ilp.pruned_bound],
+      [ilp.presolve_fixed] and [ilp.incumbents], plus the {!Simplex}
+      counters from the node solves. Parallel workers write into
+      private per-slot registries that are absorbed into [metrics]
+      before the call returns, so the caller's registry is never
+      touched concurrently. *)
 
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
     Problem.snapshot ->
     result * stats
 
@@ -82,6 +92,7 @@ module Exact : sig
     ?cutoff:Rat.t ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
     Problem.snapshot ->
     result
 
@@ -90,6 +101,7 @@ module Exact : sig
     ?cutoff:Rat.t ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
     Problem.snapshot ->
     result * stats
 
@@ -102,6 +114,7 @@ module Fast : sig
     ?cutoff:Rat.t ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
     Problem.snapshot ->
     result
 
@@ -110,6 +123,7 @@ module Fast : sig
     ?cutoff:Rat.t ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
     Problem.snapshot ->
     result * stats
 

@@ -210,14 +210,14 @@ let run (s : Problem.snapshot) =
         Reduced { problem = Problem.snapshot t; restore }
       end
 
-let solve_lp ?deadline (module S : Simplex.SOLVER) (s : Problem.snapshot) =
+let solve_lp ?deadline ?metrics (module S : Simplex.SOLVER) (s : Problem.snapshot) =
   match run (Problem.relax s) with
   | Infeasible -> Simplex.Infeasible
   | Solved { values } ->
       let objective = Linexpr.eval s.objective (fun v -> values.(v)) in
       Simplex.Optimal { objective; values }
   | Reduced { problem; restore } -> (
-      match S.solve ?deadline problem with
+      match S.solve ?deadline ?metrics problem with
       | Simplex.Infeasible -> Simplex.Infeasible
       | Simplex.Unbounded -> Simplex.Unbounded
       | Simplex.Optimal { values; _ } ->

@@ -35,6 +35,7 @@ val run : Problem.snapshot -> outcome
 
 val solve_lp :
   ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
   (module Simplex.SOLVER) ->
   Problem.snapshot ->
   Simplex.result

@@ -5,11 +5,21 @@ type result =
 
 module type SOLVER = sig
   val integral_eps : Rat.t
-  val solve : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> result
+
+  val solve :
+    ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
+    Problem.snapshot ->
+    result
 
   type warm
 
-  val warm_create : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> warm option
+  val warm_create :
+    ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
+    Problem.snapshot ->
+    warm option
+
   val warm_root : warm -> result
 
   val warm_solve :
@@ -111,13 +121,24 @@ module Make (F : Field.S) : SOLVER = struct
      Dantzig's rule (most negative reduced cost) with a Bland fallback
      during long degenerate streaks for anti-cycling; ties in the ratio
      test broken by lowest basis variable. *)
-  let optimize t ~deadline ~cost ~allowed =
+  let optimize t ~deadline ~metrics ~cost ~allowed =
     let m = Array.length t.b in
     let rc = reduced_costs t cost in
     let degen = ref 0 in
+    let pivots = ref 0 in
+    let polls = ref 0 in
+    (* Hot loop: accumulate locally, flush once per call — even when the
+       deadline fires mid-optimization. *)
+    let flush () =
+      Svutil.Metrics.count metrics "simplex.pivots" !pivots;
+      Svutil.Metrics.count metrics "simplex.deadline_polls" !polls
+    in
     let rec loop iter =
       if iter > iteration_limit then failwith "Simplex: iteration limit exceeded";
-      if iter land deadline_poll_mask = 0 then Svutil.Deadline.check deadline;
+      if iter land deadline_poll_mask = 0 then begin
+        incr polls;
+        Svutil.Deadline.check deadline
+      end;
       let entering = ref (-1) in
       if !degen > degenerate_streak_limit then (
         try
@@ -157,11 +178,18 @@ module Make (F : Field.S) : SOLVER = struct
         else begin
           if F.is_zero !best then incr degen else degen := 0;
           pivot t ~rc ~row:!row ~col;
+          incr pivots;
           loop (iter + 1)
         end
       end
     in
-    loop 0
+    match loop 0 with
+    | r ->
+        flush ();
+        r
+    | exception e ->
+        flush ();
+        raise e
 
   exception Bad_bounds
 
@@ -235,14 +263,14 @@ module Make (F : Field.S) : SOLVER = struct
     ({ ncols; first_art; a; b; basis }, !n_art, unit_col)
 
   (* Phase 1 (when artificials exist), drive-out, then phase 2. *)
-  let two_phase t ~deadline ~n_art ~cost2 =
+  let two_phase t ~deadline ~metrics ~n_art ~cost2 =
     let m = Array.length t.b in
     if n_art > 0 then begin
       let cost1 = Array.make t.ncols F.zero in
       for j = t.first_art to t.ncols - 1 do
         cost1.(j) <- F.one
       done;
-      (match optimize t ~deadline ~cost:cost1 ~allowed:(fun _ -> true) with
+      (match optimize t ~deadline ~metrics ~cost:cost1 ~allowed:(fun _ -> true) with
       | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
       | `Optimal -> ());
       if gt (objective_value t cost1) F.zero then `Infeasible
@@ -267,10 +295,10 @@ module Make (F : Field.S) : SOLVER = struct
                at value zero and can never re-enter or change. *)
           end
         done;
-        optimize t ~deadline ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
+        optimize t ~deadline ~metrics ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
       end
     end
-    else optimize t ~deadline ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
+    else optimize t ~deadline ~metrics ~cost:cost2 ~allowed:(fun j -> j < t.first_art)
 
   (* Read structural values off an optimal tableau (shifted by [lb0]). *)
   let extract t ~n ~lb0 ~objective =
@@ -285,8 +313,10 @@ module Make (F : Field.S) : SOLVER = struct
     List.iter (fun (v, c) -> cost2.(v) <- F.of_rat c) (Linexpr.to_list objective);
     cost2
 
-  let solve ?(deadline = Svutil.Deadline.none) (s : Problem.snapshot) =
+  let solve ?(deadline = Svutil.Deadline.none) ?(metrics = Svutil.Metrics.nop)
+      (s : Problem.snapshot) =
     let n = s.n in
+    Svutil.Metrics.tick metrics "simplex.cold_starts";
     try
       (* Shift: y_i = x_i - lb_i. *)
       let shift_rhs expr rhs =
@@ -310,7 +340,7 @@ module Make (F : Field.S) : SOLVER = struct
       in
       let t, n_art, _unit_col = build_tableau ~n (Array.of_list (rows @ ub_rows)) in
       let cost2 = phase2_cost ~ncols:t.ncols s.objective in
-      match two_phase t ~deadline ~n_art ~cost2 with
+      match two_phase t ~deadline ~metrics ~n_art ~cost2 with
       | `Infeasible ->
           Log.debug (fun f -> f "infeasible (%d cols)" t.ncols);
           Infeasible
@@ -346,11 +376,13 @@ module Make (F : Field.S) : SOLVER = struct
     b_init : F.t array;
     basis_init : int array;
     root : result;  (** the root optimum found at creation time *)
+    metrics : Svutil.Metrics.t;
     mutable solves : int;
     mutable ok : bool;  (** false: give up on warm starts, always cold-solve *)
   }
 
-  let warm_create ?(deadline = Svutil.Deadline.none) (s : Problem.snapshot) =
+  let warm_create ?(deadline = Svutil.Deadline.none)
+      ?(metrics = Svutil.Metrics.nop) (s : Problem.snapshot) =
     let n = s.n in
     let need_pair = Array.init n (fun i -> s.integer.(i)) in
     let missing_ub =
@@ -402,7 +434,7 @@ module Make (F : Field.S) : SOLVER = struct
         let b_init = Array.copy t.b in
         let basis_init = Array.copy t.basis in
         let cost2 = phase2_cost ~ncols:t.ncols s.objective in
-        match two_phase t ~deadline ~n_art ~cost2 with
+        match two_phase t ~deadline ~metrics ~n_art ~cost2 with
         | `Infeasible | `Unbounded -> None
         | `Optimal ->
             Some
@@ -419,6 +451,7 @@ module Make (F : Field.S) : SOLVER = struct
                 b_init;
                 basis_init;
                 root = extract t ~n ~lb0 ~objective:s.objective;
+                metrics;
                 solves = 0;
                 ok = true;
               }
@@ -439,7 +472,7 @@ module Make (F : Field.S) : SOLVER = struct
     Array.blit w.basis_init 0 t.basis 0 m;
     Array.blit w.b_init 0 w.b0 0 m;
     let n_art = t.ncols - t.first_art in
-    match two_phase t ~deadline ~n_art ~cost2:w.cost2 with
+    match two_phase t ~deadline ~metrics:w.metrics ~n_art ~cost2:w.cost2 with
     | `Optimal -> true
     | `Infeasible | `Unbounded -> false
 
@@ -479,10 +512,19 @@ module Make (F : Field.S) : SOLVER = struct
     let t = w.t in
     let m = Array.length t.b in
     let rc = reduced_costs t w.cost2 in
+    let pivots = ref 0 in
+    let polls = ref 0 in
+    let flush () =
+      Svutil.Metrics.count w.metrics "simplex.pivots" !pivots;
+      Svutil.Metrics.count w.metrics "simplex.deadline_polls" !polls
+    in
     let rec dual iter =
       if iter > dual_iteration_limit then `Fail
       else begin
-        if iter land deadline_poll_mask = 0 then Svutil.Deadline.check deadline;
+        if iter land deadline_poll_mask = 0 then begin
+          incr polls;
+          Svutil.Deadline.check deadline
+        end;
         let row = ref (-1) in
         for i = 0 to m - 1 do
           if lt t.b.(i) F.zero && (!row < 0 || t.basis.(i) < t.basis.(!row)) then
@@ -506,16 +548,29 @@ module Make (F : Field.S) : SOLVER = struct
           if !col < 0 then `Infeasible
           else begin
             pivot t ~rc ~row:!row ~col:!col;
+            incr pivots;
             dual (iter + 1)
           end
         end
       end
     in
-    match dual 0 with
+    let dual_result =
+      match dual 0 with
+      | r ->
+          flush ();
+          r
+      | exception e ->
+          flush ();
+          raise e
+    in
+    match dual_result with
     | `Fail -> `Fail
     | `Infeasible -> `Infeasible
     | `Primal_feasible -> (
-        match optimize t ~deadline ~cost:w.cost2 ~allowed:(fun j -> j < t.first_art) with
+        match
+          optimize t ~deadline ~metrics:w.metrics ~cost:w.cost2
+            ~allowed:(fun j -> j < t.first_art)
+        with
         | `Optimal -> `Optimal
         | `Unbounded ->
             (* Nodes of a bounded root can't be unbounded; treat as a
@@ -523,9 +578,12 @@ module Make (F : Field.S) : SOLVER = struct
             `Fail)
 
   let warm_solve ?(deadline = Svutil.Deadline.none) w ~lb ~ub =
-    let cold () = solve ~deadline (Problem.with_bounds w.prob ~lb ~ub) in
+    let cold () =
+      solve ~deadline ~metrics:w.metrics (Problem.with_bounds w.prob ~lb ~ub)
+    in
     if not w.ok then cold ()
     else begin
+      Svutil.Metrics.tick w.metrics "simplex.warm_starts";
       w.solves <- w.solves + 1;
       if (not F.exact) && w.solves mod rebuild_period = 0 && not (rebuild ~deadline w)
       then begin

@@ -26,11 +26,20 @@ module type SOLVER = sig
       zero for exact rationals (optima are never perturbed by snapping),
       [1e-6] for floats. *)
 
-  val solve : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> result
+  val solve :
+    ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
+    Problem.snapshot ->
+    result
   (** Cold two-phase solve. The pivot loops poll [deadline] every few
       dozen iterations and raise {!Svutil.Deadline.Expired} when it has
       passed — callers holding an incumbent catch it there. Defaults to
-      {!Svutil.Deadline.none}. *)
+      {!Svutil.Deadline.none}.
+
+      [metrics] (default {!Svutil.Metrics.nop}) receives the counters
+      [simplex.cold_starts], [simplex.pivots] and
+      [simplex.deadline_polls]; pivot counts are accumulated locally and
+      flushed once per solve, including when the deadline fires. *)
 
   type warm
   (** Reusable solver state for a fixed constraint matrix: only the
@@ -40,12 +49,20 @@ module type SOLVER = sig
       basis stays dual feasible — each node costs a short dual-simplex
       pass instead of a full two-phase solve. *)
 
-  val warm_create : ?deadline:Svutil.Deadline.t -> Problem.snapshot -> warm option
+  val warm_create :
+    ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
+    Problem.snapshot ->
+    warm option
   (** Builds warm state and solves the root. [None] when the problem is
       not warmable (an integer variable without a finite upper bound,
       or a root that is not primal-feasible and bounded) — callers fall
       back to {!solve}. May raise {!Svutil.Deadline.Expired} from the
-      root solve. *)
+      root solve. The [metrics] registry is stored in the warm state:
+      every later {!warm_solve} reports into it ([simplex.warm_starts]
+      plus the {!solve} counters), so parallel branch-and-bound must
+      give each worker's warm state its own registry and
+      {!Svutil.Metrics.merge} afterwards. *)
 
   val warm_root : warm -> result
   (** The root optimum computed by {!warm_create}, at no extra cost —

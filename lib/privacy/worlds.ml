@@ -58,7 +58,12 @@ let make_search ~slot_rows ~allow_absent ~n_view =
    unchanged); [uncommit i row] undoes a successful commit. [on_world]
    receives the placed rows (unspecified order) and returns [false] to
    stop the whole search. *)
-let run_search s ~commit ~uncommit ~on_world =
+let run_search ?(metrics = Svutil.Metrics.nop) s ~commit ~uncommit ~on_world =
+  (* Hot loop: prune/leaf counts accumulate locally and flush once per
+     search. A pruned branch is a slot choice rejected before recursing
+     (constraint conflict or an uncoverable view tuple). *)
+  let enumerated = ref 0 in
+  let pruned = ref 0 in
   if s.feasible then begin
     let slots = Array.length s.slot_rows in
     let covered = Array.make (max s.n_view 1) 0 in
@@ -67,6 +72,7 @@ let run_search s ~commit ~uncommit ~on_world =
     let rec go i acc_rows =
       if not !stop then
         if i = slots then begin
+          incr enumerated;
           if not (on_world acc_rows) then stop := true
         end
         else begin
@@ -77,20 +83,25 @@ let run_search s ~commit ~uncommit ~on_world =
             let row, vid = cands.(!j) in
             if commit i row then begin
               covered.(vid) <- covered.(vid) + 1;
-              if deadline_ok i then go (i + 1) (row :: acc_rows);
+              if deadline_ok i then go (i + 1) (row :: acc_rows)
+              else incr pruned;
               covered.(vid) <- covered.(vid) - 1;
               uncommit i row
-            end;
+            end
+            else incr pruned;
             incr j
           done;
           (* The absent choice comes last, matching the naive oracle's
              assignment order. *)
-          if (not !stop) && s.allow_absent.(i) && deadline_ok i then
-            go (i + 1) acc_rows
+          if (not !stop) && s.allow_absent.(i) then begin
+            if deadline_ok i then go (i + 1) acc_rows else incr pruned
+          end
         end
     in
     go 0 []
-  end
+  end;
+  Svutil.Metrics.count metrics "worlds.enumerated" !enumerated;
+  Svutil.Metrics.count metrics "worlds.pruned" !pruned
 
 let no_commit _ _ = true
 let no_uncommit _ _ = ()
@@ -183,39 +194,39 @@ let compile_standalone ?(max_worlds = default_max) m ~visible =
     sa_in_width = S.size in_schema;
   }
 
-let fold_standalone_worlds ?max_worlds m ~visible ~init ~f =
+let fold_standalone_worlds ?max_worlds ?metrics m ~visible ~init ~f =
   let c = compile_standalone ?max_worlds m ~visible in
   let acc = ref init in
-  run_search c.sa_search ~commit:no_commit ~uncommit:no_uncommit
+  run_search ?metrics c.sa_search ~commit:no_commit ~uncommit:no_uncommit
     ~on_world:(fun rows ->
       acc := f !acc (R.create c.sa_schema rows);
       true);
   !acc
 
-let standalone_worlds ?max_worlds m ~visible =
+let standalone_worlds ?max_worlds ?metrics m ~visible =
   List.rev
-    (fold_standalone_worlds ?max_worlds m ~visible ~init:[] ~f:(fun acc w ->
-         w :: acc))
+    (fold_standalone_worlds ?max_worlds ?metrics m ~visible ~init:[]
+       ~f:(fun acc w -> w :: acc))
 
-let count_standalone_worlds ?max_worlds m ~visible =
+let count_standalone_worlds ?max_worlds ?metrics m ~visible =
   let c = compile_standalone ?max_worlds m ~visible in
   let n = ref 0 in
-  run_search c.sa_search ~commit:no_commit ~uncommit:no_uncommit
+  run_search ?metrics c.sa_search ~commit:no_commit ~uncommit:no_uncommit
     ~on_world:(fun _ ->
       incr n;
       true);
   !n
 
-let exists_standalone_world ?max_worlds m ~visible ~f =
+let exists_standalone_world ?max_worlds ?metrics m ~visible ~f =
   let c = compile_standalone ?max_worlds m ~visible in
   let found = ref false in
-  run_search c.sa_search ~commit:no_commit ~uncommit:no_uncommit
+  run_search ?metrics c.sa_search ~commit:no_commit ~uncommit:no_uncommit
     ~on_world:(fun rows ->
       if f (R.create c.sa_schema rows) then found := true;
       not !found);
   !found
 
-let standalone_out_set ?max_worlds m ~visible ~input =
+let standalone_out_set ?max_worlds ?metrics m ~visible ~input =
   let c = compile_standalone ?max_worlds m ~visible in
   let slots = Array.length c.sa_dom in
   let rec find_slot i =
@@ -237,7 +248,7 @@ let standalone_out_set ?max_worlds m ~visible ~input =
                allow_absent.(sx) <- false;
                let s = { c.sa_search with slot_rows; allow_absent } in
                let found = ref false in
-               run_search s ~commit:no_commit ~uncommit:no_uncommit
+               run_search ?metrics s ~commit:no_commit ~uncommit:no_uncommit
                  ~on_world:(fun _ ->
                    found := true;
                    false);
@@ -368,7 +379,8 @@ let compile_workflow_functions ?(max_worlds = default_max) w ~public ~visible =
   compile_workflow ~guard_name:"workflow_worlds_functions" ~guard_count:count
     ~absent:false ~max_worlds w ~public ~visible
 
-let fold_workflow_worlds_functions ?max_worlds w ~public ~visible ~init ~f =
+let fold_workflow_worlds_functions ?max_worlds ?metrics w ~public ~visible
+    ~init ~f =
   if partial_public w ~public then
     List.fold_left f init
       (Worlds_naive.workflow_worlds_functions ?max_worlds w ~public ~visible)
@@ -380,13 +392,14 @@ let fold_workflow_worlds_functions ?max_worlds w ~public ~visible ~init ~f =
         c.wf_privates
     in
     let acc = ref init in
-    run_search c.wf_search ~commit ~uncommit ~on_world:(fun rows ->
+    run_search ?metrics c.wf_search ~commit ~uncommit ~on_world:(fun rows ->
         acc := f !acc (R.create c.wf_schema rows);
         true);
     !acc
   end
 
-let exists_workflow_world_functions ?max_worlds w ~public ~visible ~f =
+let exists_workflow_world_functions ?max_worlds ?metrics w ~public ~visible
+    ~f =
   if partial_public w ~public then
     List.exists f
       (Worlds_naive.workflow_worlds_functions ?max_worlds w ~public ~visible)
@@ -398,18 +411,19 @@ let exists_workflow_world_functions ?max_worlds w ~public ~visible ~f =
         c.wf_privates
     in
     let found = ref false in
-    run_search c.wf_search ~commit ~uncommit ~on_world:(fun rows ->
+    run_search ?metrics c.wf_search ~commit ~uncommit ~on_world:(fun rows ->
         if f (R.create c.wf_schema rows) then found := true;
         not !found);
     !found
   end
 
-let workflow_worlds_functions ?max_worlds w ~public ~visible =
-  fold_workflow_worlds_functions ?max_worlds w ~public ~visible ~init:[]
-    ~f:(fun acc w -> w :: acc)
+let workflow_worlds_functions ?max_worlds ?metrics w ~public ~visible =
+  fold_workflow_worlds_functions ?max_worlds ?metrics w ~public ~visible
+    ~init:[] ~f:(fun acc w -> w :: acc)
   |> List.sort (fun a b -> compare (R.rows a) (R.rows b))
 
-let workflow_out_set ?max_worlds w ~public ~visible ~module_name ~input =
+let workflow_out_set ?max_worlds ?metrics w ~public ~visible ~module_name
+    ~input =
   let m =
     match W.find_module w module_name with
     | Some m -> m
@@ -423,7 +437,7 @@ let workflow_out_set ?max_worlds w ~public ~visible ~module_name ~input =
   let vacuous = ref false in
   let saturated () = !vacuous || Hset.cardinal seen = range_size in
   ignore
-    (exists_workflow_world_functions ?max_worlds w ~public ~visible
+    (exists_workflow_world_functions ?max_worlds ?metrics w ~public ~visible
        ~f:(fun world ->
          let seen_input = ref false in
          R.iter world ~f:(fun row ->
@@ -443,7 +457,8 @@ let workflow_out_set ?max_worlds w ~public ~visible ~module_name ~input =
 (* Literal workflow worlds: partial maps from initial inputs to tuples *)
 (* ------------------------------------------------------------------ *)
 
-let workflow_worlds_tuples ?(max_worlds = default_max) w ~public ~visible =
+let workflow_worlds_tuples ?(max_worlds = default_max) ?metrics w ~public
+    ~visible =
   let count ~slots ~n_comp = pow_int (n_comp + 1) slots in
   let c =
     compile_workflow ~guard_name:"workflow_worlds_tuples" ~guard_count:count
@@ -455,7 +470,7 @@ let workflow_worlds_tuples ?(max_worlds = default_max) w ~public ~visible =
       c.wf_privates
   in
   let acc = ref [] in
-  run_search c.wf_search ~commit ~uncommit ~on_world:(fun rows ->
+  run_search ?metrics c.wf_search ~commit ~uncommit ~on_world:(fun rows ->
       acc := R.create c.wf_schema rows :: !acc;
       true);
   List.rev !acc

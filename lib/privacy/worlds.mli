@@ -29,7 +29,13 @@
       back to {!Worlds_naive}.
 
     The property tests assert agreement with {!Worlds_naive} on random
-    instances; the enumerators here preserve its result order. *)
+    instances; the enumerators here preserve its result order.
+
+    Every enumerator takes an optional [metrics] registry (default
+    {!Svutil.Metrics.nop}) receiving [worlds.enumerated] (leaves
+    visited, i.e. worlds actually produced before any early stop) and
+    [worlds.pruned] (branches rejected before recursing). The
+    {!Worlds_naive} fallback paths report nothing. *)
 
 val default_max : int
 (** Default [max_worlds] bound, [2_000_000]. *)
@@ -41,13 +47,18 @@ val pow_int : int -> int -> int
 (** {1 Standalone worlds (Definition 1)} *)
 
 val standalone_worlds :
-  ?max_worlds:int -> Wf.Wmodule.t -> visible:string list -> Rel.Relation.t list
+  ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
+  Wf.Wmodule.t ->
+  visible:string list ->
+  Rel.Relation.t list
 (** All members of [Worlds(R, V)] for a standalone module (Definition 1).
     [max_worlds] (default 2_000_000) bounds the candidate count
     [(|Range|+1)^|Dom|]; @raise Invalid_argument beyond it. *)
 
 val fold_standalone_worlds :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Wmodule.t ->
   visible:string list ->
   init:'a ->
@@ -58,6 +69,7 @@ val fold_standalone_worlds :
 
 val exists_standalone_world :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Wmodule.t ->
   visible:string list ->
   f:(Rel.Relation.t -> bool) ->
@@ -65,12 +77,17 @@ val exists_standalone_world :
 (** Does some world satisfy [f]? Stops at the first witness. *)
 
 val count_standalone_worlds :
-  ?max_worlds:int -> Wf.Wmodule.t -> visible:string list -> int
+  ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
+  Wf.Wmodule.t ->
+  visible:string list ->
+  int
 (** Number of worlds, counted at the leaves of the search — no
     relations are built. *)
 
 val standalone_out_set :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Wmodule.t ->
   visible:string list ->
   input:int array ->
@@ -83,6 +100,7 @@ val standalone_out_set :
 
 val workflow_worlds_functions :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Workflow.t ->
   public:string list ->
   visible:string list ->
@@ -97,6 +115,7 @@ val workflow_worlds_functions :
 
 val fold_workflow_worlds_functions :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Workflow.t ->
   public:string list ->
   visible:string list ->
@@ -109,6 +128,7 @@ val fold_workflow_worlds_functions :
 
 val exists_workflow_world_functions :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Workflow.t ->
   public:string list ->
   visible:string list ->
@@ -120,6 +140,7 @@ val exists_workflow_world_functions :
 
 val workflow_out_set :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Workflow.t ->
   public:string list ->
   visible:string list ->
@@ -135,6 +156,7 @@ val workflow_out_set :
 
 val workflow_worlds_tuples :
   ?max_worlds:int ->
+  ?metrics:Svutil.Metrics.t ->
   Wf.Workflow.t ->
   public:string list ->
   visible:string list ->

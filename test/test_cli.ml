@@ -1,0 +1,276 @@
+(* Integration tests for the secure_view_cli binary: the --metrics
+   surface must emit JSON that actually parses and whose counters agree
+   with the engine's stats block.
+
+   The binary and the example fixtures are declared as deps in
+   test/dune; paths are resolved relative to this test executable so
+   the suite works under both `dune runtest` and `dune exec`. *)
+
+let base = Filename.dirname Sys.executable_name
+let cli = Filename.concat base "../bin/secure_view_cli.exe"
+let example f = Filename.concat base ("../examples/" ^ f)
+
+let run_cli args =
+  let cmd = Filename.quote_command cli args ^ " 2>/dev/null" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let ok = match status with Unix.WEXITED 0 -> true | _ -> false in
+  (ok, String.trim (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* A tiny generic JSON reader (objects, arrays, strings, numbers,       *)
+(* booleans, null) — just enough to assert the CLI output is valid      *)
+(* JSON with the expected structure.                                    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Bad of string
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let lit word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= len then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 4 >= len then fail "bad unicode escape";
+              (* decoded value irrelevant for these tests *)
+              Buffer.add_char b '?';
+              pos := !pos + 4
+          | _ -> fail "unsupported escape");
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; members ((k, v) :: acc)
+            | Some '}' -> incr pos; List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; elems (v :: acc)
+            | Some ']' -> incr pos; List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elems [])
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> lit "true" (Bool true)
+    | Some 'f' -> lit "false" (Bool false)
+    | Some 'n' -> lit "null" Null
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < len
+          &&
+          match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        (match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some f -> Num f
+        | None -> fail "malformed number")
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let parse_ok what s =
+  match parse_json s with
+  | v -> v
+  | exception Bad msg -> Alcotest.fail (what ^ ": invalid JSON (" ^ msg ^ "): " ^ s)
+
+let member what key = function
+  | Obj kvs -> (
+      match List.assoc_opt key kvs with
+      | Some v -> v
+      | None -> Alcotest.fail (what ^ ": missing key " ^ key))
+  | _ -> Alcotest.fail (what ^ ": not an object")
+
+let has_key key = function Obj kvs -> List.mem_assoc key kvs | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* solve --json --metrics json                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_solve_metrics_json () =
+  let ok, out =
+    run_cli [ "solve"; example "fig1.swf"; "--json"; "-m"; "exact"; "--metrics"; "json" ]
+  in
+  Alcotest.(check bool) "exit 0" true ok;
+  let doc = parse_ok "solve output" out in
+  let exact = member "solve output" "exact" doc in
+  List.iter
+    (fun k -> ignore (member "exact result" k exact))
+    [ "method"; "solution"; "proven_optimal"; "timings_ms"; "stats"; "metrics" ];
+  let metrics = member "exact result" "metrics" exact in
+  let counters = member "metrics" "counters" metrics in
+  let spans = member "metrics" "spans" metrics in
+  Alcotest.(check bool) "solve span recorded" true (has_key "solve" spans);
+  (* CLI-level consistency: the registry's node count is the stats'. *)
+  let stats = member "exact result" "stats" exact in
+  match (member "counters" "ilp.nodes" counters, member "stats" "nodes" stats) with
+  | Num c, Str s ->
+      Alcotest.(check string) "registry nodes = stats nodes" s
+        (string_of_int (int_of_float c))
+  | _ -> Alcotest.fail "ilp.nodes must be a number and stats.nodes a string"
+
+let test_solve_metrics_off_by_default () =
+  let ok, out = run_cli [ "solve"; example "fig1.swf"; "--json"; "-m"; "exact" ] in
+  Alcotest.(check bool) "exit 0" true ok;
+  let doc = parse_ok "solve output" out in
+  let exact = member "solve output" "exact" doc in
+  Alcotest.(check bool) "no metrics key without --metrics" false
+    (has_key "metrics" exact)
+
+let test_solve_metrics_text_mode () =
+  (* Without --json the registry is printed on its own "metrics" line;
+     the payload must still be valid JSON. *)
+  let ok, out =
+    run_cli [ "solve"; example "fig1.swf"; "-m"; "exact"; "--metrics"; "json" ]
+  in
+  Alcotest.(check bool) "exit 0" true ok;
+  let line =
+    String.split_on_char '\n' out
+    |> List.find_opt (fun l -> String.length l > 8 && String.sub l 0 8 = "metrics ")
+  in
+  match line with
+  | None -> Alcotest.fail "expected a 'metrics exact {...}' line"
+  | Some l -> (
+      match String.index_opt l '{' with
+      | None -> Alcotest.fail "metrics line has no JSON payload"
+      | Some i ->
+          let payload = String.sub l i (String.length l - i) in
+          let m = parse_ok "metrics line" payload in
+          ignore (member "metrics line" "counters" m))
+
+(* ------------------------------------------------------------------ *)
+(* batch --metrics json                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_metrics () =
+  let ok, out =
+    run_cli
+      [ "batch"; example "fig1.swf"; example "genomics.swf"; "--metrics"; "json" ]
+  in
+  Alcotest.(check bool) "exit 0" true ok;
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "one line per file" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      let doc = parse_ok "batch line" line in
+      (match member "batch line" "ok" doc with
+      | Bool true -> ()
+      | _ -> Alcotest.fail "batch line not ok");
+      let result = member "batch line" "result" doc in
+      let metrics = member "batch result" "metrics" result in
+      let spans = member "batch metrics" "spans" metrics in
+      Alcotest.(check bool) "per-file solve span" true (has_key "solve" spans))
+    lines
+
+let test_batch_no_metrics_by_default () =
+  let ok, out = run_cli [ "batch"; example "fig1.swf" ] in
+  Alcotest.(check bool) "exit 0" true ok;
+  let doc = parse_ok "batch line" out in
+  let result = member "batch line" "result" doc in
+  Alcotest.(check bool) "no metrics key" false (has_key "metrics" result)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "solve",
+        [
+          Alcotest.test_case "--metrics json" `Quick test_solve_metrics_json;
+          Alcotest.test_case "metrics off by default" `Quick
+            test_solve_metrics_off_by_default;
+          Alcotest.test_case "--metrics in text mode" `Quick
+            test_solve_metrics_text_mode;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "--metrics json" `Quick test_batch_metrics;
+          Alcotest.test_case "metrics off by default" `Quick
+            test_batch_no_metrics_by_default;
+        ] );
+    ]

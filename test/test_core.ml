@@ -406,6 +406,57 @@ let test_engine_deadline_gadget () =
   | Some s -> Alcotest.(check bool) "incumbent feasible" true (Sol.is_feasible inst s)
   | None -> Alcotest.fail "gadget has a greedy incumbent"
 
+let test_engine_metrics_consistency () =
+  (* One source of truth: the engine's stats and timings are derived
+     from the same flushes and clock reads that feed the registry, so
+     they must agree exactly — no tolerance. *)
+  let sc = Combinat.Set_cover.random (Svutil.Rng.create 44) ~universe:6 ~n_sets:4 in
+  let inst = Reductions.Sc_general.of_set_cover sc in
+  let m = Svutil.Metrics.create () in
+  let r = E.run { (E.default_request inst) with E.meth = E.Exact; E.metrics = m } in
+  Alcotest.(check bool) "result carries the registry" true
+    (Svutil.Metrics.enabled r.E.metrics);
+  (match List.assoc_opt "nodes" r.E.stats with
+  | Some nodes ->
+      Alcotest.(check string) "registry nodes = stats nodes" nodes
+        (string_of_int (Svutil.Metrics.counter_value m "ilp.nodes"))
+  | None -> Alcotest.fail "exact stats must report nodes");
+  (match Svutil.Metrics.span_stats m "solve" with
+  | Some (1, ms) ->
+      Alcotest.(check (float 0.)) "total timing is the solve span"
+        (List.assoc "total" r.E.timings) ms
+  | _ -> Alcotest.fail "one solve span expected");
+  match Svutil.Metrics.span_stats m "solve/search" with
+  | Some (1, ms) ->
+      Alcotest.(check (float 0.)) "search phase nested under solve"
+        (List.assoc "search" r.E.timings) ms
+  | _ -> Alcotest.fail "search span must nest under solve"
+
+let test_par_batch_metrics_merge () =
+  (* The batch driver gives each file its own registry and merges; the
+     merged counters must not depend on whether the runs were parallel
+     (spans carry wall-clock, so only counters are comparable). *)
+  let insts =
+    List.map
+      (fun seed ->
+        Reductions.Sc_general.of_set_cover
+          (Combinat.Set_cover.random (Svutil.Rng.create seed) ~universe:6 ~n_sets:4))
+      [ 44; 45; 46; 47 ]
+  in
+  let solve inst =
+    let m = Svutil.Metrics.create () in
+    ignore (E.run { (E.default_request inst) with E.meth = E.Exact; E.metrics = m });
+    m
+  in
+  let fold rs = List.fold_left Svutil.Metrics.merge (Svutil.Metrics.create ()) rs in
+  let seq = fold (List.map solve insts) in
+  let par = fold (Svutil.Par.map ~jobs:4 solve insts) in
+  Alcotest.(check (list (pair string int)))
+    "par-merged counters = sequential sum" (Svutil.Metrics.counters seq)
+    (Svutil.Metrics.counters par);
+  Alcotest.(check bool) "counters are non-trivial" true
+    (Svutil.Metrics.counter_value seq "ilp.nodes" > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Properties on random workflow-derived instances                      *)
 (* ------------------------------------------------------------------ *)
@@ -425,6 +476,44 @@ let gen_instance =
     let costs = Wf.Gen.random_costs rng w in
     let cost a = List.assoc a costs in
     return (w, Inst.of_workflow w ~gamma:2 ~cost ()))
+
+(* A cost-preserving bijective renaming: every attribute and module
+   name gains a suffix and the record lists are reversed.  Solver
+   answers may pick different (equal-cost) sets, but the optimum value
+   is invariant. *)
+let rename_instance suffix (inst : Inst.t) =
+  let ra a = a ^ suffix in
+  let rename_req = function
+    | Req.Card l -> Req.Card l
+    | Req.Sets l ->
+        Req.Sets (List.map (fun (i, o) -> (List.map ra i, List.map ra o)) l)
+  in
+  Inst.make
+    ~attr_costs:(List.rev_map (fun (a, c) -> (ra a, c)) inst.Inst.attr_costs)
+    ~mods:
+      (List.rev_map
+         (fun (m : Inst.module_req) ->
+           {
+             Inst.m_name = m.Inst.m_name ^ suffix;
+             inputs = List.map ra m.Inst.inputs;
+             outputs = List.map ra m.Inst.outputs;
+             req = rename_req m.Inst.req;
+           })
+         inst.Inst.mods)
+    ~publics:
+      (List.map
+         (fun (p : Inst.public_mod) ->
+           {
+             Inst.p_name = p.Inst.p_name ^ suffix;
+             p_cost = p.Inst.p_cost;
+             p_attrs = List.map ra p.Inst.p_attrs;
+           })
+         inst.Inst.publics)
+    ()
+
+let auto_cost inst =
+  let r = E.run { (E.default_request inst) with E.meth = E.Auto } in
+  Option.map (fun s -> s.Sol.cost) r.E.solution
 
 let props =
   [
@@ -572,6 +661,27 @@ let props =
         | Some s, None -> Sol.is_feasible inst s
         | None, Some _ -> false
         | None, None -> true);
+    (* Metamorphic: names carry no information, so a bijective renaming
+       of attributes and modules leaves the optimal cost unchanged. *)
+    prop "renaming preserves auto cost (cardinality)" gen_instance
+      (fun (_, inst) ->
+        match (auto_cost inst, auto_cost (rename_instance "_r" inst)) with
+        | Some a, Some b -> Q.equal a b
+        | None, None -> true
+        | _ -> false);
+    prop "renaming preserves auto cost (sets)" gen_instance (fun (_, inst) ->
+        let inst = Inst.to_sets inst in
+        match (auto_cost inst, auto_cost (rename_instance "_r" inst)) with
+        | Some a, Some b -> Q.equal a b
+        | None, None -> true
+        | _ -> false);
+    prop "engine metrics registry matches stats" gen_instance (fun (_, inst) ->
+        let m = Svutil.Metrics.create () in
+        let r =
+          E.run { (E.default_request inst) with E.meth = E.Exact; E.metrics = m }
+        in
+        List.assoc_opt "nodes" r.E.stats
+        = Some (string_of_int (Svutil.Metrics.counter_value m "ilp.nodes")));
   ]
 
 let () =
@@ -622,6 +732,8 @@ let () =
           Alcotest.test_case "registry" `Quick test_engine_registry;
           Alcotest.test_case "brute refusal" `Quick test_brute_refusal;
           Alcotest.test_case "deadline on gadget" `Quick test_engine_deadline_gadget;
+          Alcotest.test_case "metrics consistency" `Quick test_engine_metrics_consistency;
+          Alcotest.test_case "par batch metrics merge" `Quick test_par_batch_metrics_merge;
         ] );
       ("properties", props);
     ]

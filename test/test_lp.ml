@@ -165,6 +165,33 @@ let test_ilp_knapsack () =
       check_q "y" Q.two values.(1)
   | _ -> Alcotest.fail "expected optimal"
 
+let test_ilp_metrics_consistency () =
+  (* The registry is fed by the same [finished] flush that fills the
+     stats record, so the two node counts must agree exactly; the node
+     LP solves feed the simplex counters of the same registry. *)
+  let s =
+    build
+      ~vars:[ ivar ~ub:Q.two "x"; ivar ~ub:Q.two "y" ]
+      ~constraints:[ ([ (0, Q.two); (1, Q.of_int 3) ], P.Le, Q.of_int 6) ]
+      ~objective:[ (0, Q.of_int (-3)); (1, Q.of_int (-4)) ]
+  in
+  let m = Svutil.Metrics.create () in
+  let result, stats = Lp.Ilp.Exact.solve_with_stats ~metrics:m s in
+  (match result with
+  | Lp.Ilp.Optimal { objective; _ } -> check_q "objective" (Q.of_int (-8)) objective
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check int) "registry nodes = stats nodes" stats.Lp.Ilp.nodes
+    (Svutil.Metrics.counter_value m "ilp.nodes");
+  Alcotest.(check bool) "node LPs pivot" true
+    (Svutil.Metrics.counter_value m "simplex.pivots" > 0);
+  (* A direct simplex solve on its own registry reports one cold start. *)
+  let ms = Svutil.Metrics.create () in
+  (match Lp.Simplex.Exact.solve ~metrics:ms (P.relax s) with
+  | Lp.Simplex.Optimal _ -> ()
+  | _ -> Alcotest.fail "relaxation should be optimal");
+  Alcotest.(check int) "one cold start" 1
+    (Svutil.Metrics.counter_value ms "simplex.cold_starts")
+
 let test_ilp_cover () =
   (* Triangle vertex cover: min x1+x2+x3, every edge covered -> 2. *)
   let s =
@@ -467,6 +494,19 @@ let props =
         | Lp.Ilp.Optimal { objective; _ }, Some want -> Q.equal want objective
         | Lp.Ilp.Infeasible, None -> true
         | _ -> false);
+    prop "metrics node count always equals stats" gen_bounded_lp (fun s ->
+        let s' = P.all_integer s in
+        let m = Svutil.Metrics.create () in
+        let _, stats = Lp.Ilp.Exact.solve_with_stats ~metrics:m s' in
+        Svutil.Metrics.counter_value m "ilp.nodes" = stats.Lp.Ilp.nodes);
+    prop "parallel workers' registries are fully absorbed" gen_bounded_lp
+      (fun s ->
+        (* With jobs>1 every node solve writes a per-slot registry; the
+           absorbed union must still account for every node. *)
+        let s' = P.all_integer s in
+        let m = Svutil.Metrics.create () in
+        let _, stats = Lp.Ilp.Exact.solve_with_stats ~jobs:4 ~metrics:m s' in
+        Svutil.Metrics.counter_value m "ilp.nodes" = stats.Lp.Ilp.nodes);
   ]
 
 let () =
@@ -477,6 +517,7 @@ let () =
       ( "ilp",
         [
           Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "metrics consistency" `Quick test_ilp_metrics_consistency;
           Alcotest.test_case "vertex cover triangle" `Quick test_ilp_cover;
           Alcotest.test_case "lp feasible, ip infeasible" `Quick test_ilp_lp_feasible_ip_infeasible;
           Alcotest.test_case "mixed integer" `Quick test_ilp_mixed;

@@ -1,0 +1,289 @@
+module M = Svutil.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Counter / histogram / span basics                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let t = M.create () in
+  Alcotest.(check bool) "live" true (M.enabled t);
+  Alcotest.(check int) "absent is 0" 0 (M.counter_value t "a.x");
+  let c = M.counter t "a.x" in
+  M.incr c;
+  M.add c 4;
+  M.tick t "a.x";
+  M.count t "b.y" 7;
+  Alcotest.(check int) "handle and name agree" 6 (M.counter_value t "a.x");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("a.x", 6); ("b.y", 7) ]
+    (M.counters t)
+
+let test_nop () =
+  Alcotest.(check bool) "disabled" false (M.enabled M.nop);
+  M.tick M.nop "a";
+  M.count M.nop "a" 5;
+  M.incr (M.counter M.nop "a");
+  M.observe_in M.nop "h" 1.0;
+  M.observe (M.histogram M.nop "h") 1.0;
+  M.record_span M.nop "s" 1.0;
+  let r = M.span M.nop "s" (fun () -> 42) in
+  Alcotest.(check int) "span passes value through" 42 r;
+  let r, ms = M.timed M.nop "s" (fun () -> 43) in
+  Alcotest.(check int) "timed passes value through" 43 r;
+  Alcotest.(check bool) "timed still measures" true (ms >= 0.);
+  Alcotest.(check bool) "still empty" true (M.is_empty M.nop);
+  Alcotest.(check int) "queries report zero" 0 (M.counter_value M.nop "a")
+
+let test_histograms () =
+  let t = M.create () in
+  Alcotest.(check bool) "absent" true (M.histo_stats t "h" = None);
+  let h = M.histogram t "h" in
+  Alcotest.(check bool) "created but unobserved" true (M.histo_stats t "h" = None);
+  Alcotest.(check (list string)) "empty histograms hidden" []
+    (List.map fst (M.histograms t));
+  M.observe h 2.0;
+  M.observe h (-1.0);
+  M.observe_in t "h" 5.5;
+  (match M.histo_stats t "h" with
+  | None -> Alcotest.fail "histogram must be present"
+  | Some s ->
+      Alcotest.(check int) "count" 3 s.M.hcount;
+      Alcotest.(check (float 1e-9)) "sum" 6.5 s.M.hsum;
+      Alcotest.(check (float 0.)) "min" (-1.0) s.M.hmin;
+      Alcotest.(check (float 0.)) "max" 5.5 s.M.hmax);
+  Alcotest.(check (list string)) "listing" [ "h" ] (List.map fst (M.histograms t))
+
+let test_spans () =
+  let t = M.create () in
+  let v =
+    M.span t "outer" (fun () ->
+        M.span t "inner" (fun () -> ());
+        M.span t "inner" (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "value through" 17 v;
+  (match M.span_stats t "outer" with
+  | Some (1, ms) -> Alcotest.(check bool) "outer ms" true (ms >= 0.)
+  | _ -> Alcotest.fail "outer span missing");
+  (match M.span_stats t "outer/inner" with
+  | Some (2, _) -> ()
+  | _ -> Alcotest.fail "nested path must be outer/inner with count 2");
+  Alcotest.(check bool) "no bare inner" true (M.span_stats t "inner" = None);
+  (* Exception safety: the span is recorded and the label stack is
+     unwound, so the next top-level span has an un-nested path. *)
+  (try M.span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  (match M.span_stats t "boom" with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "raising span must still be recorded");
+  M.span t "after" (fun () -> ());
+  (match M.span_stats t "after" with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "stack must be empty after a raising span");
+  let (), ms = M.timed t "after" (fun () -> ()) in
+  Alcotest.(check bool) "timed measures" true (ms >= 0.);
+  (match M.span_stats t "after" with
+  | Some (2, _) -> ()
+  | _ -> Alcotest.fail "timed must record like span")
+
+let test_absorb_and_merge () =
+  let a = M.create () and b = M.create () in
+  M.count a "c" 2;
+  M.count b "c" 3;
+  M.count b "d" 1;
+  M.observe_in a "h" 1.0;
+  M.observe_in b "h" 4.0;
+  M.record_span a "s" 2.0;
+  M.record_span b "s" 3.0;
+  let m = M.merge a b in
+  Alcotest.(check int) "merged c" 5 (M.counter_value m "c");
+  Alcotest.(check int) "merged d" 1 (M.counter_value m "d");
+  (match M.histo_stats m "h" with
+  | Some s ->
+      Alcotest.(check int) "merged hcount" 2 s.M.hcount;
+      Alcotest.(check (float 0.)) "merged hmin" 1.0 s.M.hmin;
+      Alcotest.(check (float 0.)) "merged hmax" 4.0 s.M.hmax
+  | None -> Alcotest.fail "merged histogram missing");
+  (match M.span_stats m "s" with
+  | Some (2, ms) -> Alcotest.(check (float 1e-9)) "merged span ms" 5.0 ms
+  | _ -> Alcotest.fail "merged span missing");
+  (* merge does not mutate its arguments *)
+  Alcotest.(check int) "a untouched" 2 (M.counter_value a "c");
+  Alcotest.(check int) "b untouched" 3 (M.counter_value b "c");
+  (* absorb into nop is a silent drop; nop sources contribute nothing *)
+  M.absorb M.nop a;
+  Alcotest.(check bool) "nop stays empty" true (M.is_empty M.nop);
+  let c = M.create () in
+  M.absorb c M.nop;
+  Alcotest.(check bool) "absorbing nop adds nothing" true (M.is_empty c);
+  Alcotest.(check bool) "merge nop nop is nop" false
+    (M.enabled (M.merge M.nop M.nop))
+
+let test_json_format () =
+  let t = M.create () in
+  M.count t "b" 2;
+  M.tick t "a";
+  M.observe_in t "h" 1.5;
+  M.record_span t "s/t" 2.0;
+  Alcotest.(check string) "pinned format"
+    "{\"counters\":{\"a\":1,\"b\":2},\"histograms\":{\"h\":{\"count\":1,\"sum\":1.5,\"min\":1.5,\"max\":1.5}},\"spans\":{\"s/t\":{\"count\":1,\"total_ms\":2}}}"
+    (M.to_json t);
+  (match M.of_json (M.to_json t) with
+  | Ok t' -> Alcotest.(check bool) "round-trip" true (M.equal t t')
+  | Error e -> Alcotest.fail ("round-trip parse failed: " ^ e));
+  Alcotest.(check bool) "garbage rejected" true
+    (match M.of_json "{\"counters\":" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "non-object rejected" true
+    (match M.of_json "3" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check string) "empty registry json"
+    "{\"counters\":{},\"histograms\":{},\"spans\":{}}"
+    (M.to_json (M.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let names = [| "a.x"; "a.y"; "b.z"; "sp"; "sp/in" |]
+
+(* A registry described as a list of update operations.  Histogram and
+   span observations are integer-valued so that float addition is exact
+   and the merge laws can demand structural equality. *)
+type op = C of int * int | H of int * float | S of int * float
+
+let gen_ops =
+  QCheck2.Gen.(
+    let idx = int_range 0 (Array.length names - 1) in
+    let op =
+      oneof
+        [
+          map2 (fun i n -> C (i, n)) idx (int_range 0 100);
+          map2 (fun i v -> H (i, float_of_int v)) idx (int_range (-50) 50);
+          map2 (fun i v -> S (i, float_of_int v)) idx (int_range 0 50);
+        ]
+    in
+    list_size (int_range 0 25) op)
+
+let build ops =
+  let t = M.create () in
+  List.iter
+    (function
+      | C (i, n) -> M.count t names.(i) n
+      | H (i, v) -> M.observe_in t names.(i) v
+      | S (i, v) -> M.record_span t names.(i) v)
+    ops;
+  t
+
+let merge_props =
+  [
+    prop "merge is commutative" QCheck2.Gen.(pair gen_ops gen_ops)
+      (fun (a, b) ->
+        let a = build a and b = build b in
+        M.equal (M.merge a b) (M.merge b a));
+    prop "merge is associative"
+      QCheck2.Gen.(triple gen_ops gen_ops gen_ops)
+      (fun (a, b, c) ->
+        let a = build a and b = build b and c = build c in
+        M.equal (M.merge (M.merge a b) c) (M.merge a (M.merge b c)));
+    prop "empty is a merge identity" gen_ops (fun ops ->
+        let a = build ops in
+        M.equal (M.merge a (M.create ())) a
+        && M.equal (M.merge (M.create ()) a) a
+        && M.equal (M.merge a M.nop) a);
+    prop "absorb agrees with merge" QCheck2.Gen.(pair gen_ops gen_ops)
+      (fun (a, b) ->
+        let m = M.merge (build a) (build b) in
+        let d = build a in
+        M.absorb d (build b);
+        M.equal m d);
+  ]
+
+(* Random span-nesting scripts: a tree of labels executed through
+   {!M.span}.  Well-formedness is structural — every recorded nested
+   path has its parent recorded too, and the label stack is empty again
+   afterwards — so the property is immune to clock granularity. *)
+type tree = Node of string * tree list
+
+let gen_forest =
+  let open QCheck2.Gen in
+  let label = oneofl [ "p"; "q"; "r" ] in
+  let rec forest depth =
+    if depth = 0 then return []
+    else
+      list_size (int_range 0 3)
+        (map2 (fun l sub -> Node (l, sub)) label (forest (depth - 1)))
+  in
+  forest 3
+
+let rec run_forest t nodes =
+  List.iter (fun (Node (l, sub)) -> M.span t l (fun () -> run_forest t sub)) nodes
+
+let parent_of path =
+  match String.rindex_opt path '/' with
+  | None -> None
+  | Some i -> Some (String.sub path 0 i)
+
+let span_props =
+  [
+    prop ~count:100 "span nesting is well-formed" gen_forest (fun forest ->
+        let t = M.create () in
+        run_forest t forest;
+        let recorded = M.spans t in
+        List.for_all
+          (fun (path, (n, ms)) ->
+            n > 0 && ms >= 0.
+            &&
+            match parent_of path with
+            | None -> true
+            | Some p -> List.mem_assoc p recorded)
+          recorded
+        &&
+        (* stack fully unwound: a fresh top-level span is un-nested *)
+        (M.span t "fresh-top" (fun () -> ());
+         M.span_stats t "fresh-top" <> None));
+  ]
+
+(* JSON round-trips, including non-integral float observations: the
+   serializer prints shortest-round-trip floats, so parsing back must
+   reproduce the registry exactly. *)
+let gen_ops_float =
+  QCheck2.Gen.(
+    let idx = int_range 0 (Array.length names - 1) in
+    let fval = float_range (-1e6) 1e6 in
+    let op =
+      oneof
+        [
+          map2 (fun i n -> C (i, n)) idx (int_range 0 1_000_000);
+          map2 (fun i v -> H (i, v)) idx fval;
+          map2 (fun i v -> S (i, Float.abs v)) idx fval;
+        ]
+    in
+    list_size (int_range 0 25) op)
+
+let json_props =
+  [
+    prop "json round-trips" gen_ops_float (fun ops ->
+        let t = build ops in
+        match M.of_json (M.to_json t) with
+        | Ok t' -> M.equal t t'
+        | Error _ -> false);
+  ]
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "nop sink" `Quick test_nop;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "spans" `Quick test_spans;
+          Alcotest.test_case "absorb and merge" `Quick test_absorb_and_merge;
+          Alcotest.test_case "json format" `Quick test_json_format;
+        ] );
+      ("merge laws", merge_props);
+      ("span nesting", span_props);
+      ("json", json_props);
+    ]
