@@ -9,8 +9,13 @@ SMOKE_OUT ?= BENCH_SMOKE.json
 
 # Baselines for bench-compare, e.g.
 #   make bench-compare BASE=BENCH_PR1.json NEW=BENCH_PR3.json
-BASE ?= BENCH_PR1.json
-NEW ?= BENCH_PR3.json
+# Exits nonzero when any kernel regressed by more than 10%.
+BASE ?= BENCH_PR3.json
+NEW ?= BENCH_PR6.json
+
+# Optional kernel filter (Str regexp) for bench-json, e.g.
+#   make bench-json FILTER=simplex
+FILTER ?=
 
 build:
 	dune build
@@ -32,9 +37,10 @@ bench-smoke:
 bench-smoke-json:
 	dune exec bench/main.exe -- --timings --smoke --json $(SMOKE_OUT)
 
-# Full timing run, recorded as a flat JSON baseline.
+# Full timing run, recorded as a flat JSON baseline; FILTER narrows the
+# kernel set (Str regexp over kernel names).
 bench-json:
-	dune exec bench/main.exe -- --timings --json $(OUT)
+	dune exec bench/main.exe -- --timings --json $(OUT) $(if $(FILTER),--filter '$(FILTER)')
 
 # Per-kernel speedups between two bench-json baselines; regressions
 # beyond 10% are flagged in the output.

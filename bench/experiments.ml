@@ -33,7 +33,7 @@ let rat_str q =
 let ratio a b = if Q.is_zero b then "inf" else Printf.sprintf "%.3f" (Q.to_float (Q.div a b))
 
 (* Certified optima go through the unified engine (same branch-and-bound
-   underneath; [fast] float relaxations, greedy-seeded cutoff). *)
+   underneath; hybrid node relaxations, greedy-seeded cutoff). *)
 let engine_exact ?(node_limit = 200_000) inst =
   Core.Engine.run
     {
@@ -176,7 +176,7 @@ let e05 () =
         "alg1/LP"; "16 ln n" ]
   in
   let add_row family n inst exact =
-    match Core.Card_lp.lp_relaxation ~fast:true inst with
+    match Core.Card_lp.lp_relaxation inst with
     | `Infeasible -> ()
     | `Optimal (x, lp) ->
         let alg1 =
@@ -230,7 +230,7 @@ let e06 () =
       [ "family"; "l_max"; "LP bound"; "rounded"; "exact"; "rounded/exact"; "bound l_max" ]
   in
   let add_row family inst exact =
-    match Core.Set_lp.lp_relaxation ~fast:true inst with
+    match Core.Set_lp.lp_relaxation inst with
     | `Infeasible -> ()
     | `Optimal (x, lp) ->
         let rounded = Core.Rounding.threshold inst ~x in
@@ -380,7 +380,7 @@ let e10 () =
       let g = List.length (Combinat.Set_cover.greedy sc) in
       let sv = Option.get (exact_cost inst) in
       let alg1 =
-        match Core.Card_lp.lp_relaxation ~fast:true inst with
+        match Core.Card_lp.lp_relaxation inst with
         | `Optimal (x, _) ->
             rat_str (Core.Rounding.algorithm1 (Rng.create seed) inst ~x).Sol.cost
         | `Infeasible -> "-"
@@ -619,7 +619,7 @@ let e19 () =
       let rng = Rng.create (11_000 + seed) in
       let sc = Combinat.Set_cover.random rng ~universe:10 ~n_sets:8 in
       let inst = Reductions.Sc_card.of_set_cover sc in
-      match Core.Card_lp.lp_relaxation ~fast:true inst with
+      match Core.Card_lp.lp_relaxation inst with
       | `Infeasible -> ()
       | `Optimal (x, lp) ->
           let single = Core.Rounding.algorithm1 (Rng.create seed) inst ~x in

@@ -216,12 +216,23 @@ let node_limit_arg =
        & info [ "node-limit" ] ~docv:"N"
            ~doc:"Branch-and-bound node budget for the exact solver.")
 
-let lp_solver_arg =
-  let solvers = Arg.enum [ ("exact", `Exact); ("fast", `Fast) ] in
-  Arg.(value & opt solvers `Fast
-       & info [ "solver" ] ~docv:"FIELD"
-           ~doc:"Arithmetic for the branch-and-bound LP relaxations: $(b,exact) \
-                 (rational, the reference) or $(b,fast) (float).")
+let lp_mode_arg =
+  let modes =
+    Arg.enum
+      [
+        ("exact", Lp.Simplex.Exact_mode);
+        ("hybrid", Lp.Simplex.Hybrid_mode);
+        ("float", Lp.Simplex.Float_mode);
+        ("fast", Lp.Simplex.Float_mode);
+      ]
+  in
+  Arg.(value & opt modes Lp.Simplex.Hybrid_mode
+       & info [ "lp-mode"; "solver" ] ~docv:"MODE"
+           ~doc:"Simplex route for the LP relaxations: $(b,exact) (rational \
+                 pivoting, the reference), $(b,hybrid) (default: float basis \
+                 hunting, exactly certified — same answers as exact), or \
+                 $(b,float) (approximate; results are tagged lp.inexact). \
+                 $(b,fast) is accepted as a legacy spelling of $(b,float).")
 
 let jobs_arg =
   Arg.(value & opt int 1
@@ -309,13 +320,13 @@ let json_engine_result (r : Core.Engine.result) =
 let stat_true (r : Core.Engine.result) key =
   List.assoc_opt key r.Core.Engine.stats = Some "true"
 
-let request_of inst ~meth ~node_limit ~fast ~jobs ~seed ~deadline_ms ~trials
+let request_of inst ~meth ~node_limit ~lp_mode ~jobs ~seed ~deadline_ms ~trials
     ~metrics =
   {
     (Core.Engine.default_request inst) with
     Core.Engine.meth;
     node_limit;
-    fast;
+    lp_mode;
     jobs;
     seed;
     deadline_ms;
@@ -324,11 +335,10 @@ let request_of inst ~meth ~node_limit ~fast ~jobs ~seed ~deadline_ms ~trials
   }
 
 let solve_cmd =
-  let run file meth emit_view node_limit lp_solver jobs json seed deadline
+  let run file meth emit_view node_limit lp_mode jobs json seed deadline
       trials metrics_mode =
     let spec = load ~preflight:true file in
     let inst = instance_of spec in
-    let fast = match lp_solver with `Fast -> true | `Exact -> false in
     let fields = ref [] in
     let field k v = fields := (k, v) :: !fields in
     (* One method through the engine: print the human-readable lines
@@ -336,7 +346,7 @@ let solve_cmd =
        the JSON field under the CLI's name for the method. *)
     let run_method (key, meth) =
       let req =
-        request_of inst ~meth ~node_limit ~fast ~jobs ~seed
+        request_of inst ~meth ~node_limit ~lp_mode ~jobs ~seed
           ~deadline_ms:deadline ~trials ~metrics:(metrics_of metrics_mode)
       in
       let r = Core.Engine.run req in
@@ -396,7 +406,7 @@ let solve_cmd =
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve the workflow Secure-View problem.")
     Term.(const run $ file_arg $ method_arg $ emit_view_arg $ node_limit_arg
-          $ lp_solver_arg $ jobs_arg $ solve_json_arg $ seed_arg $ deadline_arg
+          $ lp_mode_arg $ jobs_arg $ solve_json_arg $ seed_arg $ deadline_arg
           $ trials_arg $ metrics_arg)
 
 (* batch ----------------------------------------------------------------- *)
@@ -406,9 +416,8 @@ let batch_cmd =
     Arg.(non_empty & pos_all file []
          & info [] ~docv:"FILES" ~doc:"Workflow description files.")
   in
-  let run files (_, meth) node_limit lp_solver jobs seed deadline trials
+  let run files (_, meth) node_limit lp_mode jobs seed deadline trials
       metrics_mode =
-    let fast = match lp_solver with `Fast -> true | `Exact -> false in
     (* One JSON line per file; a file that fails to parse, lint, or
        solve yields an "ok":false line instead of aborting the batch.
        Each file gets a seed derived from the base seed and its position
@@ -434,7 +443,7 @@ let batch_cmd =
                 (* Fresh registry per file: parallel batch workers never
                    share a live registry. *)
                 let req =
-                  request_of inst ~meth ~node_limit ~fast ~jobs:1
+                  request_of inst ~meth ~node_limit ~lp_mode ~jobs:1
                     ~seed:(seed + idx) ~deadline_ms:deadline ~trials
                     ~metrics:(metrics_of metrics_mode)
                 in
@@ -459,7 +468,7 @@ let batch_cmd =
              file. Files are processed in parallel with --jobs; the output \
              (order and content) does not depend on the job count.")
     Term.(const run $ files_arg $ batch_method_arg $ node_limit_arg
-          $ lp_solver_arg $ jobs_arg $ seed_arg $ deadline_arg $ trials_arg
+          $ lp_mode_arg $ jobs_arg $ seed_arg $ deadline_arg $ trials_arg
           $ metrics_arg)
 
 (* check ------------------------------------------------------------------ *)

@@ -68,7 +68,7 @@ let () =
       Format.printf "LP rounding:  %a@." Sol.pp rounded
   | `Infeasible -> print_endline "LP infeasible");
 
-  (match Core.Exact.solve ~fast:false inst with
+  (match Core.Exact.solve ~mode:Lp.Simplex.Exact_mode inst with
   | Some { Core.Exact.solution; proven_optimal } ->
       Format.printf "exact ILP:    %a%s@." Sol.pp solution
         (if proven_optimal then "" else " (node limit)");

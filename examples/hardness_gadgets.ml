@@ -16,7 +16,7 @@ module VC = Combinat.Vertex_cover
 module LC = Combinat.Label_cover
 
 let opt inst =
-  match Core.Exact.solve ~fast:true inst with
+  match Core.Exact.solve inst with
   | Some { Core.Exact.solution; proven_optimal = true } -> solution.Core.Solution.cost
   | Some _ -> failwith "branch-and-bound node limit reached"
   | None -> failwith "gadget instance should be feasible"

@@ -131,12 +131,12 @@ let build ?(variant = Full) (inst : Instance.t) =
     inst.Instance.mods;
   { problem = P.snapshot p; attr_var; pub_var }
 
-let lp_relaxation ?variant ?(fast = false) ?deadline ?metrics inst =
+let lp_relaxation ?variant ?(mode = Lp.Simplex.Hybrid_mode) ?deadline ?metrics
+    inst =
   let { problem; attr_var; _ } = build ?variant inst in
   let relaxed = P.relax problem in
   let solve =
-    if fast then Lp.Presolve.solve_lp ?deadline ?metrics (module Lp.Simplex.Fast)
-    else Lp.Presolve.solve_lp ?deadline ?metrics (module Lp.Simplex.Exact)
+    Lp.Presolve.solve_lp ?deadline ?metrics (Lp.Simplex.solver_of_mode mode)
   in
   match solve relaxed with
   | Lp.Simplex.Optimal { objective; values } ->

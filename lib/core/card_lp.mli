@@ -32,13 +32,14 @@ val build : ?variant:variant -> Instance.t -> built
 
 val lp_relaxation :
   ?variant:variant ->
-  ?fast:bool ->
+  ?mode:Lp.Simplex.mode ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   [ `Optimal of (string -> Rat.t) * Rat.t | `Infeasible ]
 (** Solve the LP relaxation; returns the hidden-indicator values
     [x_b] and the LP objective (a lower bound on the optimum).
-    [fast] selects the float simplex (default: exact rationals).
+    [mode] picks the simplex route (default {!Lp.Simplex.Hybrid_mode}:
+    exact-rational answers at float pivoting cost).
     [deadline] is polled inside the simplex pivot loops; on expiry
     {!Svutil.Deadline.Expired} is raised. *)

@@ -24,7 +24,7 @@ type request = {
   meth : meth;
   deadline_ms : float option;
   node_limit : int;
-  fast : bool;
+  lp_mode : Lp.Simplex.mode;
   jobs : int;
   seed : int;
   trials : int;
@@ -37,12 +37,20 @@ let default_request inst =
     meth = Auto;
     deadline_ms = None;
     node_limit = Lp.Ilp.default_node_limit;
-    fast = true;
+    lp_mode = Lp.Simplex.Hybrid_mode;
     jobs = 1;
     seed = 0;
     trials = 4;
     metrics = Svutil.Metrics.nop;
   }
+
+(* The rounding guarantees (Theorems 5 and 6) need exact x values, so
+   the rounding solvers never run their relaxation in pure floats: an
+   explicit [Float_mode] request is upgraded to the hybrid route, which
+   is float-priced but returns exact rationals. *)
+let rounding_mode = function
+  | Lp.Simplex.Float_mode -> Lp.Simplex.Hybrid_mode
+  | m -> m
 
 type result = {
   solution : Solution.t option;
@@ -125,9 +133,9 @@ end
 module Round_card_solver = struct
   let name = "round-card"
 
-  (* Algorithm 1 (Theorem 5). The relaxation runs over exact rationals
-     regardless of [req.fast]: the rounding guarantee does not survive
-     float round-off of the x values. *)
+  (* Algorithm 1 (Theorem 5). The relaxation must return exact
+     rationals ([rounding_mode]): the rounding guarantee does not
+     survive float round-off of the x values. *)
   let solve (req : request) =
     let phases = ref [] in
     if not (Exact.all_cardinality req.inst) then
@@ -142,7 +150,8 @@ module Round_card_solver = struct
       let deadline = D.of_ms_opt req.deadline_ms in
       match
         phase req.metrics phases "lp" (fun () ->
-            Card_lp.lp_relaxation ~deadline ~metrics:req.metrics req.inst)
+            Card_lp.lp_relaxation ~mode:(rounding_mode req.lp_mode) ~deadline
+              ~metrics:req.metrics req.inst)
       with
       | exception D.Expired ->
           greedy_fallback ~phases ~method_used:Round_card ~stats:[] req
@@ -175,7 +184,8 @@ module Round_set_solver = struct
     let deadline = D.of_ms_opt req.deadline_ms in
     match
       phase req.metrics phases "lp" (fun () ->
-          Set_lp.lp_relaxation ~deadline ~metrics:req.metrics req.inst)
+          Set_lp.lp_relaxation ~mode:(rounding_mode req.lp_mode) ~deadline
+            ~metrics:req.metrics req.inst)
     with
     | exception D.Expired ->
         greedy_fallback ~phases ~method_used:Round_set ~stats:[] req
@@ -202,7 +212,7 @@ module Exact_solver = struct
     let deadline = D.of_ms_opt req.deadline_ms in
     let outcome, (st : Lp.Ilp.stats) =
       phase req.metrics phases "search" (fun () ->
-          Exact.solve_with_stats ~node_limit:req.node_limit ~fast:req.fast
+          Exact.solve_with_stats ~node_limit:req.node_limit ~mode:req.lp_mode
             ~jobs:req.jobs ~deadline ~metrics:req.metrics req.inst)
     in
     let stats =
@@ -211,7 +221,11 @@ module Exact_solver = struct
         ("node_limit", string_of_int st.node_limit);
         ("limit_hit", string_of_bool st.limit_hit);
         ("deadline_hit", string_of_bool st.deadline_hit);
+        ("lp_mode", Lp.Simplex.mode_to_string req.lp_mode);
       ]
+      @ (if req.lp_mode = Lp.Simplex.Float_mode then
+           [ ("lp.inexact", "true") ]
+         else [])
       @
       match st.root_bound with
       | Some b -> [ ("root_bound", Rat.to_string b) ]

@@ -36,7 +36,10 @@ type request = {
           budget returns the best incumbent with
           [proven_optimal = false] — it never raises. *)
   node_limit : int;  (** branch-and-bound node budget (exact method) *)
-  fast : bool;  (** float simplex for branch-and-bound relaxations *)
+  lp_mode : Lp.Simplex.mode;
+      (** simplex route for the LP relaxations. The rounding methods
+          upgrade {!Lp.Simplex.Float_mode} to {!Lp.Simplex.Hybrid_mode}:
+          their approximation guarantees need exact x values. *)
   jobs : int;  (** concurrent branch-and-bound node evaluations *)
   seed : int;  (** RNG seed for randomized rounding trials *)
   trials : int;  (** rounding trials; the cheapest solution wins *)
@@ -50,8 +53,8 @@ type request = {
 
 val default_request : Instance.t -> request
 (** [meth = Auto], no deadline, {!Lp.Ilp.default_node_limit} nodes,
-    [fast = true], [jobs = 1], [seed = 0], [trials = 4],
-    [metrics = Svutil.Metrics.nop]. *)
+    [lp_mode = Lp.Simplex.Hybrid_mode], [jobs = 1], [seed = 0],
+    [trials = 4], [metrics = Svutil.Metrics.nop]. *)
 
 type result = {
   solution : Solution.t option;  (** [None] = infeasible or refused *)

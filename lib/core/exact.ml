@@ -24,15 +24,20 @@ let seed_solution inst =
   | s when Solution.is_feasible inst s -> Some s
   | _ | (exception _) -> None
 
-let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit) ?(fast = true)
-    ?(jobs = 1) ?deadline ?metrics inst =
+let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit)
+    ?(mode = Lp.Simplex.Hybrid_mode) ?(jobs = 1) ?deadline ?metrics inst =
   let problem, attr_var = build_ip inst in
   let seed = seed_solution inst in
   let cutoff = Option.map (fun (s : Solution.t) -> s.Solution.cost) seed in
   let solve_ilp =
-    if fast then
-      Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
-    else Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
+    match mode with
+    | Lp.Simplex.Exact_mode ->
+        Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
+    | Lp.Simplex.Hybrid_mode ->
+        Lp.Ilp.Hybrid.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline
+          ?metrics
+    | Lp.Simplex.Float_mode ->
+        Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
   in
   let finish ~proven values =
     let hidden =
@@ -60,8 +65,8 @@ let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit) ?(fast = true)
   in
   (outcome, stats)
 
-let solve ?node_limit ?fast ?jobs ?deadline ?metrics inst =
-  fst (solve_with_stats ?node_limit ?fast ?jobs ?deadline ?metrics inst)
+let solve ?node_limit ?mode ?jobs ?deadline ?metrics inst =
+  fst (solve_with_stats ?node_limit ?mode ?jobs ?deadline ?metrics inst)
 
 type refusal = Too_many_attrs of { attrs : int; limit : int }
 
@@ -91,9 +96,9 @@ let brute_force inst =
   | Ok best -> best
   | Error r -> invalid_arg (refusal_to_string r)
 
-let lower_bound ?(fast = false) ?deadline ?metrics inst =
+let lower_bound ?(mode = Lp.Simplex.Hybrid_mode) ?deadline ?metrics inst =
   let result =
-    if all_cardinality inst then Card_lp.lp_relaxation ~fast ?deadline ?metrics inst
-    else Set_lp.lp_relaxation ~fast ?deadline ?metrics inst
+    if all_cardinality inst then Card_lp.lp_relaxation ~mode ?deadline ?metrics inst
+    else Set_lp.lp_relaxation ~mode ?deadline ?metrics inst
   in
   match result with `Optimal (_, obj) -> Some obj | `Infeasible -> None

@@ -20,15 +20,16 @@ val all_cardinality : Instance.t -> bool
 
 val solve :
   ?node_limit:int ->
-  ?fast:bool ->
+  ?mode:Lp.Simplex.mode ->
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   outcome option
-(** [None] when the instance is infeasible. [fast] uses the float
-    simplex for the relaxations (default true: exact pivoting is the
-    reference but slow on the larger benchmark instances). [jobs]
+(** [None] when the instance is infeasible. [mode] picks the simplex
+    route for the node relaxations (default {!Lp.Simplex.Hybrid_mode}:
+    exact answers, float basis hunting; {!Lp.Simplex.Float_mode} is the
+    historical approximate route and ticks [lp.inexact]). [jobs]
     evaluates that many branch-and-bound nodes concurrently (default 1;
     the answer does not depend on it). The search is seeded with the
     greedy solution as a strict cutoff, so a run that proves the seed
@@ -40,7 +41,7 @@ val solve :
 
 val solve_with_stats :
   ?node_limit:int ->
-  ?fast:bool ->
+  ?mode:Lp.Simplex.mode ->
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
@@ -70,10 +71,11 @@ val brute_force : Instance.t -> Solution.t option
     Prefer the checked variant in new code. *)
 
 val lower_bound :
-  ?fast:bool ->
+  ?mode:Lp.Simplex.mode ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   Rat.t option
-(** The LP-relaxation bound used in approximation-ratio reporting. May
-    raise {!Svutil.Deadline.Expired}. *)
+(** The LP-relaxation bound used in approximation-ratio reporting
+    (default mode {!Lp.Simplex.Hybrid_mode}). May raise
+    {!Svutil.Deadline.Expired}. *)

@@ -67,12 +67,11 @@ let build (inst : Instance.t) =
     inst.Instance.mods;
   { problem = P.snapshot p; attr_var; pub_var }
 
-let lp_relaxation ?(fast = false) ?deadline ?metrics inst =
+let lp_relaxation ?(mode = Lp.Simplex.Hybrid_mode) ?deadline ?metrics inst =
   let { problem; attr_var; _ } = build inst in
   let relaxed = P.relax problem in
   let solve =
-    if fast then Lp.Presolve.solve_lp ?deadline ?metrics (module Lp.Simplex.Fast)
-    else Lp.Presolve.solve_lp ?deadline ?metrics (module Lp.Simplex.Exact)
+    Lp.Presolve.solve_lp ?deadline ?metrics (Lp.Simplex.solver_of_mode mode)
   in
   match solve relaxed with
   | Lp.Simplex.Optimal { objective; values } ->

@@ -22,10 +22,11 @@ val build : Instance.t -> built
     {!Requirement.card_to_sets}. *)
 
 val lp_relaxation :
-  ?fast:bool ->
+  ?mode:Lp.Simplex.mode ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
   Instance.t ->
   [ `Optimal of (string -> Rat.t) * Rat.t | `Infeasible ]
-(** [deadline] is polled inside the simplex pivot loops; on expiry
+(** [mode] picks the simplex route (default {!Lp.Simplex.Hybrid_mode}).
+    [deadline] is polled inside the simplex pivot loops; on expiry
     {!Svutil.Deadline.Expired} is raised. *)

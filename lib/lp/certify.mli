@@ -1,0 +1,82 @@
+(** Exact certification of float-found simplex bases.
+
+    The hybrid solver's correctness argument lives here: a candidate
+    basis from {!Fsimplex} is refactorized once in exact rationals and
+    checked against the two optimality conditions —
+
+    - {e primal feasibility}: [x_B = B^-1 b >= 0], with every basic
+      artificial exactly zero;
+    - {e dual feasibility}: every non-basic structural/slack column has
+      a non-negative exact reduced cost.
+
+    Both hold: the basis is optimal and the exact optimum is read off
+    it ({e accept}).  Exactly one fails: a short exact primal or dual
+    cleanup from that basis usually reaches optimality in a handful of
+    pivots ({e repair}).  Anything else — singular basis, both sides
+    violated, pivot budget exhausted — is reported as {!Cert_fail} and
+    the caller falls back to the exact two-phase solver, so a wrong
+    float basis can cost time but never an answer.
+
+    The accept check never factorizes the full system: every
+    upper-bound row has exactly three unit columns touching it
+    (variable, slack, artificial), so a nonsingular basis is first
+    reduced — by cofactor expansion along whichever of the three is
+    basic — to the constraint-row core, and only that [m0]-row system
+    is refactorized exactly.  The eliminated rows are re-checked
+    directly on the recovered values ([slack >= 0], artificials at
+    zero, pinned variables priced non-positively), so acceptance is
+    equivalent to full-system primal and dual feasibility.  Repair and
+    Farkas certificates still build the full factorization, lazily.
+
+    Factorizations are cached per basis (keyed on the sorted column
+    set): branch-and-bound nodes revisit a handful of optimal bases,
+    and on a cache hit certification is one exact
+    forward-substitution of the node's right-hand side. *)
+
+type cache
+
+val cache_create : unit -> cache
+
+type outcome =
+  | Cert_optimal of { objective : Rat.t; values : Rat.t array; repaired : bool }
+      (** exact optimum ([values] in original, unshifted coordinates) *)
+  | Cert_infeasible  (** an exact Farkas/dual certificate of infeasibility *)
+  | Cert_unbounded  (** an exact unbounded ray *)
+  | Cert_fail  (** could not certify: fall back to the exact solver *)
+
+val check :
+  ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
+  cache:cache ->
+  Sform.t ->
+  rhs:Rat.t array ->
+  lb:Rat.t array ->
+  basis:int array ->
+  outcome
+(** Certify a candidate optimal basis under the node's bounds ([lb] is
+    the shift used to build [rhs]).  Ticks [certify.accepts],
+    [certify.repairs] and [certify.cache_hits]. *)
+
+val check_phase1 :
+  ?deadline:Svutil.Deadline.t ->
+  Sform.t ->
+  rhs:Rat.t array ->
+  basis:int array ->
+  art_sign:int array ->
+  bool
+(** [true] iff the phase-1 basis exactly proves infeasibility: it is
+    primal feasible and dual feasible for the artificial-sum objective,
+    with a strictly positive artificial sum. *)
+
+val check_farkas :
+  ?deadline:Svutil.Deadline.t ->
+  ?metrics:Svutil.Metrics.t ->
+  cache:cache ->
+  Sform.t ->
+  rhs:Rat.t array ->
+  basis:int array ->
+  col:int ->
+  bool
+(** [true] iff the basis row holding [col] is an exact Farkas
+    certificate: its basic value is negative while the row of
+    [B^-1 A] is non-negative on every real column. *)

@@ -401,3 +401,4 @@ end
 
 module Exact = Make (Simplex.Exact)
 module Fast = Make (Simplex.Fast)
+module Hybrid = Make (Simplex.Hybrid)

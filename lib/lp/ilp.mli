@@ -129,3 +129,27 @@ module Fast : sig
 
   val solve_reference : ?node_limit:int -> Problem.snapshot -> result
 end
+
+(** Branch and bound over {!Simplex.Hybrid}: exact optima (identical to
+    {!Exact}'s) with float-priced node relaxations. *)
+module Hybrid : sig
+  val solve :
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
+    Problem.snapshot ->
+    result
+
+  val solve_with_stats :
+    ?node_limit:int ->
+    ?cutoff:Rat.t ->
+    ?jobs:int ->
+    ?deadline:Svutil.Deadline.t ->
+    ?metrics:Svutil.Metrics.t ->
+    Problem.snapshot ->
+    result * stats
+
+  val solve_reference : ?node_limit:int -> Problem.snapshot -> result
+end

@@ -1,0 +1,122 @@
+type t = {
+  n : int;
+  m : int;
+  m0 : int;
+  first_art : int;
+  ncols : int;
+  cols : (int array * Rat.t array) array;
+  obj : Rat.t array;
+  slack_sign : int array;
+  slack_col : int array;
+  ub_var : int array;
+  ub_row : int array;
+  row_terms : (int * Rat.t) array array;
+  base_rhs : Rat.t array;
+  objective : Linexpr.t;
+}
+
+let make (s : Problem.snapshot) =
+  let n = s.n in
+  let m0 = Array.length s.constraints in
+  let ub_vars = ref [] in
+  for i = n - 1 downto 0 do
+    if s.ub.(i) <> None then ub_vars := i :: !ub_vars
+  done;
+  let ub_var = Array.of_list !ub_vars in
+  let n_ub = Array.length ub_var in
+  let m = m0 + n_ub in
+  let ub_row = Array.make n (-1) in
+  Array.iteri (fun k v -> ub_row.(v) <- m0 + k) ub_var;
+  let slack_sign = Array.make m 0 in
+  let slack_col = Array.make m (-1) in
+  let row_terms =
+    Array.map (fun (expr, _, _) -> Array.of_list (Linexpr.to_list expr)) s.constraints
+  in
+  let base_rhs = Array.map (fun (_, _, rhs) -> rhs) s.constraints in
+  (* Slack columns in row order; upper-bound rows are all [Le]. *)
+  let next = ref n in
+  for r = 0 to m - 1 do
+    let sign =
+      if r >= m0 then 1
+      else
+        match s.constraints.(r) with
+        | _, Problem.Le, _ -> 1
+        | _, Problem.Ge, _ -> -1
+        | _, Problem.Eq, _ -> 0
+    in
+    slack_sign.(r) <- sign;
+    if sign <> 0 then begin
+      slack_col.(r) <- !next;
+      incr next
+    end
+  done;
+  let first_art = !next in
+  (* Accumulate each column's (row, coef) entries, top row first. *)
+  let acc = Array.make first_art [] in
+  for r = m - 1 downto 0 do
+    if r >= m0 then acc.(ub_var.(r - m0)) <- (r, Rat.one) :: acc.(ub_var.(r - m0))
+    else
+      Array.iter
+        (fun (v, c) -> if not (Rat.is_zero c) then acc.(v) <- (r, c) :: acc.(v))
+        row_terms.(r);
+    if slack_col.(r) >= 0 then
+      acc.(slack_col.(r)) <-
+        [ (r, if slack_sign.(r) > 0 then Rat.one else Rat.minus_one) ]
+  done;
+  let cols =
+    Array.map
+      (fun l ->
+        (Array.of_list (List.map fst l), Array.of_list (List.map snd l)))
+      acc
+  in
+  let obj = Array.make first_art Rat.zero in
+  List.iter (fun (v, c) -> obj.(v) <- c) (Linexpr.to_list s.objective);
+  {
+    n;
+    m;
+    m0;
+    first_art;
+    ncols = first_art + m;
+    cols;
+    obj;
+    slack_sign;
+    slack_col;
+    ub_var;
+    ub_row;
+    row_terms;
+    base_rhs;
+    objective = s.objective;
+  }
+
+type rhs_result = Rhs of Rat.t array | Crossed | Mismatch
+
+exception Bad of rhs_result
+
+let rhs t ~lb ~ub =
+  try
+    if Array.length lb <> t.n || Array.length ub <> t.n then raise (Bad Mismatch);
+    for v = 0 to t.n - 1 do
+      match ub.(v) with
+      | None -> if t.ub_row.(v) >= 0 then raise (Bad Mismatch)
+      | Some u ->
+          if t.ub_row.(v) < 0 then raise (Bad Mismatch);
+          if Rat.lt u lb.(v) then raise (Bad Crossed)
+    done;
+    let b = Array.make t.m Rat.zero in
+    for r = 0 to t.m0 - 1 do
+      let shift = ref Rat.zero in
+      Array.iter
+        (fun (v, c) ->
+          if not (Rat.is_zero lb.(v)) then shift := Rat.add !shift (Rat.mul c lb.(v)))
+        t.row_terms.(r);
+      b.(r) <- Rat.sub t.base_rhs.(r) !shift
+    done;
+    for k = 0 to Array.length t.ub_var - 1 do
+      let v = t.ub_var.(k) in
+      let u = match ub.(v) with Some u -> u | None -> assert false in
+      b.(t.m0 + k) <- Rat.sub u lb.(v)
+    done;
+    Rhs b
+  with Bad r -> r
+
+let col t j = if j < t.first_art then Some t.cols.(j) else None

@@ -317,6 +317,10 @@ module Make (F : Field.S) : SOLVER = struct
       (s : Problem.snapshot) =
     let n = s.n in
     Svutil.Metrics.tick metrics "simplex.cold_starts";
+    (* Float-field results pass through a dyadic approximation; flag
+       them so callers can tell certified-exact from approximate
+       output. *)
+    if not F.exact then Svutil.Metrics.tick metrics "lp.inexact";
     try
       (* Shift: y_i = x_i - lb_i. *)
       let shift_rhs expr rhs =
@@ -584,6 +588,7 @@ module Make (F : Field.S) : SOLVER = struct
     if not w.ok then cold ()
     else begin
       Svutil.Metrics.tick w.metrics "simplex.warm_starts";
+      if not F.exact then Svutil.Metrics.tick w.metrics "lp.inexact";
       w.solves <- w.solves + 1;
       if (not F.exact) && w.solves mod rebuild_period = 0 && not (rebuild ~deadline w)
       then begin
@@ -612,3 +617,102 @@ end
 
 module Exact = Make (Field.Rat_field)
 module Fast = Make (Field.Float_field)
+
+(* {2 Hybrid-precision solver}
+
+   Hunt for the optimal basis in doubles (sparse revised simplex,
+   {!Fsimplex}), then certify that single basis in exact rationals
+   ({!Certify}): accept it, repair it with a short exact cleanup, or —
+   only when certification fails outright — fall back to the exact
+   two-phase solver above.  Results are exact rationals either way;
+   the float pass is pure heuristics. *)
+module Hybrid : SOLVER = struct
+  let integral_eps = Rat.zero
+
+  let fallback ~deadline ~metrics s =
+    Svutil.Metrics.tick metrics "certify.fallbacks";
+    Exact.solve ~deadline ~metrics s
+
+  (* One float-solve/certify round over a prepared standard form. *)
+  let solve_sform ~deadline ~metrics ~cache ~fs ~sf ~lb ~ub s =
+    match Sform.rhs sf ~lb ~ub with
+    | Sform.Crossed -> Infeasible
+    | Sform.Mismatch ->
+        (* bound pattern changed under us: not expected from B&B, but
+           stay correct *)
+        fallback ~deadline ~metrics s
+    | Sform.Rhs rhs -> (
+        match Fsimplex.solve ~deadline ~metrics fs ~rhs with
+        | Fsimplex.Optimal_basis basis | Fsimplex.Unbounded_hint basis -> (
+            (* An unbounded hint goes through certification too: the
+               primal repair either proves the ray exactly or finds the
+               true optimum. *)
+            match Certify.check ~deadline ~metrics ~cache sf ~rhs ~lb ~basis with
+            | Certify.Cert_optimal { objective; values; _ } ->
+                Optimal { objective; values }
+            | Certify.Cert_infeasible -> Infeasible
+            | Certify.Cert_unbounded -> Unbounded
+            | Certify.Cert_fail -> fallback ~deadline ~metrics s)
+        | Fsimplex.Infeasible_basis { basis; art_sign } ->
+            if Certify.check_phase1 ~deadline sf ~rhs ~basis ~art_sign then
+              Infeasible
+            else fallback ~deadline ~metrics s
+        | Fsimplex.Infeasible_col { basis; col } ->
+            if Certify.check_farkas ~deadline ~metrics ~cache sf ~rhs ~basis ~col
+            then Infeasible
+            else fallback ~deadline ~metrics s
+        | Fsimplex.Stalled -> fallback ~deadline ~metrics s)
+
+  let solve ?(deadline = Svutil.Deadline.none) ?(metrics = Svutil.Metrics.nop)
+      (s : Problem.snapshot) =
+    let sf = Sform.make s in
+    let fs = Fsimplex.create sf in
+    let cache = Certify.cache_create () in
+    solve_sform ~deadline ~metrics ~cache ~fs ~sf ~lb:s.lb ~ub:s.ub s
+
+  type warm = {
+    prob : Problem.snapshot;
+    sf : Sform.t;
+    fs : Fsimplex.t;
+    cache : Certify.cache;
+    root : result;
+    metrics : Svutil.Metrics.t;
+  }
+
+  let warm_create ?(deadline = Svutil.Deadline.none)
+      ?(metrics = Svutil.Metrics.nop) (s : Problem.snapshot) =
+    let sf = Sform.make s in
+    let fs = Fsimplex.create sf in
+    let cache = Certify.cache_create () in
+    match
+      solve_sform ~deadline ~metrics ~cache ~fs ~sf ~lb:s.lb ~ub:s.ub s
+    with
+    | Optimal _ as root -> Some { prob = s; sf; fs; cache; root; metrics }
+    | Infeasible | Unbounded -> None
+
+  let warm_root w = w.root
+
+  let warm_solve ?(deadline = Svutil.Deadline.none) w ~lb ~ub =
+    Svutil.Metrics.tick w.metrics "simplex.warm_starts";
+    let s = Problem.with_bounds w.prob ~lb ~ub in
+    solve_sform ~deadline ~metrics:w.metrics ~cache:w.cache ~fs:w.fs ~sf:w.sf
+      ~lb ~ub s
+end
+
+type mode = Exact_mode | Hybrid_mode | Float_mode
+
+let solver_of_mode : mode -> (module SOLVER) = function
+  | Exact_mode -> (module Exact)
+  | Hybrid_mode -> (module Hybrid)
+  | Float_mode -> (module Fast)
+
+let mode_to_string = function
+  | Exact_mode -> "exact"
+  | Hybrid_mode -> "hybrid"
+  | Float_mode -> "float"
+
+let mode_of_string = function
+  | "exact" -> Some Exact_mode
+  | "hybrid" -> Some Hybrid_mode
+  | "float" | "fast" -> Some Float_mode
+  | _ -> None

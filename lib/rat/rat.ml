@@ -1,47 +1,117 @@
 module B = Bigint
 
-(* Invariant: [den] is positive and [gcd (abs num) den = 1]; zero is
-   represented as 0/1. *)
-type t = { num : B.t; den : B.t }
+(* Invariant: the denominator is positive and coprime with the
+   numerator; zero is [0/1].
+
+   Two representations: [S (n, d)] keeps both parts in native ints when
+   they are below [small_lim], [Q] falls back to {!Bigint}.  The
+   representation is canonical — every value whose parts fit is an [S] —
+   so structural equality still coincides with value equality.  The
+   bound leaves headroom for exact native cross-products: with
+   [|n|, d < 2^30], terms like [n1*d2 + n2*d1] stay below [2^61] and
+   never overflow a 63-bit [int]. *)
+type t = S of int * int | Q of { num : B.t; den : B.t }
+
+let small_lim = 1 lsl 30
+let fits n = n > -small_lim && n < small_lim
+
+let zero = S (0, 1)
+let one = S (1, 1)
+let two = S (2, 1)
+let minus_one = S (-1, 1)
+
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+(* Normalized value from a native fraction.  Callers guarantee [d <> 0]
+   and both parts within [2^61], so sign flips and products below are
+   exact. *)
+let norm_small n d =
+  let n, d = if d < 0 then (-n, -d) else (n, d) in
+  if n = 0 then zero
+  else begin
+    let g = igcd (abs n) d in
+    let n = n / g and d = d / g in
+    if fits n && fits d then S (n, d) else Q { num = B.of_int n; den = B.of_int d }
+  end
 
 let make num den =
   if B.is_zero den then raise Division_by_zero;
-  if B.is_zero num then { num = B.zero; den = B.one }
+  if B.is_zero num then zero
   else begin
     let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
     let g = B.gcd num den in
-    { num = B.div num g; den = B.div den g }
+    let num = B.div num g and den = B.div den g in
+    match (B.to_int_opt num, B.to_int_opt den) with
+    | Some n, Some d when fits n && fits d -> S (n, d)
+    | _ -> Q { num; den }
   end
 
-let of_bigint n = { num = n; den = B.one }
-let of_int n = of_bigint (B.of_int n)
-let of_ints a b = make (B.of_int a) (B.of_int b)
+let of_bigint n =
+  match B.to_int_opt n with
+  | Some i when fits i -> S (i, 1)
+  | _ -> Q { num = n; den = B.one }
 
-let zero = of_int 0
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
+let of_int n = if fits n then S (n, 1) else Q { num = B.of_int n; den = B.one }
 
-let num t = t.num
-let den t = t.den
+let of_ints a b =
+  if b = 0 then raise Division_by_zero
+  else if a <> min_int && b <> min_int then norm_small a b
+  else make (B.of_int a) (B.of_int b)
 
-let neg t = { t with num = B.neg t.num }
-let inv t = make t.den t.num
-let abs t = { t with num = B.abs t.num }
+let num = function S (n, _) -> B.of_int n | Q q -> q.num
+let den = function S (_, d) -> B.of_int d | Q q -> q.den
 
-let add a b = make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+let neg = function
+  | S (n, d) -> S (-n, d)
+  | Q { num; den } -> Q { num = B.neg num; den }
+
+let inv = function
+  | S (0, _) -> raise Division_by_zero
+  | S (n, d) -> if n > 0 then S (d, n) else S (-d, -n)
+  | Q { num; den } -> make den num
+
+let abs = function
+  | S (n, d) -> S (abs n, d)
+  | Q { num; den } -> Q { num = B.abs num; den }
+
+let add a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> norm_small ((n1 * d2) + (n2 * d1)) (d1 * d2)
+  | _ ->
+      make
+        (B.add (B.mul (num a) (den b)) (B.mul (num b) (den a)))
+        (B.mul (den a) (den b))
+
 let sub a b = add a (neg b)
-let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
-let div a b = mul a (inv b)
+
+let mul a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> norm_small (n1 * n2) (d1 * d2)
+  | _ -> make (B.mul (num a) (num b)) (B.mul (den a) (den b))
+
+let div a b =
+  match (a, b) with
+  | _, S (0, _) -> raise Division_by_zero
+  | S (n1, d1), S (n2, d2) -> norm_small (n1 * d2) (d1 * n2)
+  | _ -> mul a (inv b)
+
 let mul_int a k = mul a (of_int k)
 let div_int a k = div a (of_int k)
 
-let sign t = B.sign t.num
-let is_zero t = B.is_zero t.num
+let sign = function S (n, _) -> Stdlib.compare n 0 | Q q -> B.sign q.num
+let is_zero = function S (n, _) -> n = 0 | Q _ -> false
 
-let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let equal a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> n1 = n2 && d1 = d2
+  | Q q1, Q q2 -> B.equal q1.num q2.num && B.equal q1.den q2.den
+  | _ -> false
 
-let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+let compare a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> Stdlib.compare (n1 * d2) (n2 * d1)
+  | _ -> B.compare (B.mul (num a) (den b)) (B.mul (num b) (den a))
+
 let lt a b = compare a b < 0
 let leq a b = compare a b <= 0
 let gt a b = compare a b > 0
@@ -49,23 +119,35 @@ let geq a b = compare a b >= 0
 let min a b = if leq a b then a else b
 let max a b = if geq a b then a else b
 
-let floor t =
-  let q, r = B.divmod t.num t.den in
-  if B.sign r < 0 then B.pred q else q
+let floor = function
+  | S (n, d) -> B.of_int (if n >= 0 || n mod d = 0 then n / d else (n / d) - 1)
+  | Q { num; den } ->
+      let q, r = B.divmod num den in
+      if B.sign r < 0 then B.pred q else q
 
-let ceil t =
-  let q, r = B.divmod t.num t.den in
-  if B.sign r > 0 then B.succ q else q
+let ceil = function
+  | S (n, d) -> B.of_int (if n <= 0 || n mod d = 0 then n / d else (n / d) + 1)
+  | Q { num; den } ->
+      let q, r = B.divmod num den in
+      if B.sign r > 0 then B.succ q else q
 
-let is_integer t = B.equal t.den B.one
+let is_integer = function S (_, d) -> d = 1 | Q q -> B.equal q.den B.one
 
-let to_int_opt t = if is_integer t then B.to_int_opt t.num else None
+let to_int_opt = function
+  | S (n, 1) -> Some n
+  | S _ -> None
+  | Q q -> if B.equal q.den B.one then B.to_int_opt q.num else None
 
-let to_float t = B.to_float t.num /. B.to_float t.den
+let to_float = function
+  | S (n, d) -> float_of_int n /. float_of_int d
+  | Q { num; den } -> B.to_float num /. B.to_float den
 
-let to_string t =
-  if is_integer t then B.to_string t.num
-  else B.to_string t.num ^ "/" ^ B.to_string t.den
+let to_string = function
+  | S (n, 1) -> string_of_int n
+  | S (n, d) -> string_of_int n ^ "/" ^ string_of_int d
+  | Q { num; den } ->
+      if B.equal den B.one then B.to_string num
+      else B.to_string num ^ "/" ^ B.to_string den
 
 let of_string s =
   match String.index_opt s '/' with
@@ -82,7 +164,10 @@ let of_string s =
           if frac = "" then invalid_arg "Rat.of_string: trailing dot";
           let negative = String.length int_part > 0 && int_part.[0] = '-' in
           let scale = B.pow (B.of_int 10) (String.length frac) in
-          let whole = if int_part = "" || int_part = "-" || int_part = "+" then B.zero else B.of_string int_part in
+          let whole =
+            if int_part = "" || int_part = "-" || int_part = "+" then B.zero
+            else B.of_string int_part
+          in
           let frac_val = make (B.of_string frac) scale in
           let base = of_bigint whole in
           if negative then sub base frac_val else add base frac_val)

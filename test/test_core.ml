@@ -218,7 +218,7 @@ let test_example5_gap () =
   | Some opt ->
       Alcotest.check q "optimum is 2+eps" (Q.of_string "201/100") opt.Sol.cost
   | None -> Alcotest.fail "instance is feasible");
-  match Core.Exact.solve ~fast:false inst with
+  match Core.Exact.solve ~mode:Lp.Simplex.Exact_mode inst with
   | Some { solution; proven_optimal } ->
       Alcotest.(check bool) "ilp proves optimality" true proven_optimal;
       Alcotest.check q "ilp matches" (Q.of_string "201/100") solution.Sol.cost
@@ -518,14 +518,29 @@ let auto_cost inst =
 let props =
   [
     prop "ilp matches brute force" gen_instance (fun (_, inst) ->
-        match (Core.Exact.solve ~fast:false inst, Core.Exact.brute_force inst) with
+        match
+          ( Core.Exact.solve ~mode:Lp.Simplex.Exact_mode inst,
+            Core.Exact.brute_force inst )
+        with
         | Some { solution; proven_optimal = true }, Some b ->
             Q.equal solution.Sol.cost b.Sol.cost
         | None, None -> true
         | _ -> false);
-    prop "fast ilp matches brute force" gen_instance (fun (_, inst) ->
-        match (Core.Exact.solve ~fast:true inst, Core.Exact.brute_force inst) with
+    prop "float ilp matches brute force" gen_instance (fun (_, inst) ->
+        match
+          ( Core.Exact.solve ~mode:Lp.Simplex.Float_mode inst,
+            Core.Exact.brute_force inst )
+        with
         | Some { solution; _ }, Some b -> Q.equal solution.Sol.cost b.Sol.cost
+        | None, None -> true
+        | _ -> false);
+    prop "hybrid ilp proves the brute-force optimum" gen_instance
+      (fun (_, inst) ->
+        (* The default route: float basis hunting must still yield
+           certified exact optima on the paper's gadget programs. *)
+        match (Core.Exact.solve inst, Core.Exact.brute_force inst) with
+        | Some { solution; proven_optimal = true }, Some b ->
+            Q.equal solution.Sol.cost b.Sol.cost
         | None, None -> true
         | _ -> false);
     prop "greedy is feasible and within (gamma+1) of optimal" gen_instance
@@ -552,7 +567,7 @@ let props =
                   inst.Inst.mods)
         then true
         else
-          match Core.Card_lp.lp_relaxation ~fast:true inst with
+          match Core.Card_lp.lp_relaxation inst with
           | `Optimal (x, _) ->
               let rng = Svutil.Rng.create 42 in
               Sol.is_feasible inst (Core.Rounding.algorithm1 rng inst ~x)
@@ -600,7 +615,7 @@ let props =
         | None, None -> true
         | _ -> false);
     prop "threshold rounding obeys the lmax bound" gen_instance (fun (_, inst) ->
-        match Core.Set_lp.lp_relaxation ~fast:false inst with
+        match Core.Set_lp.lp_relaxation ~mode:Lp.Simplex.Exact_mode inst with
         | `Optimal (x, lp) ->
             let s = Core.Rounding.threshold inst ~x in
             Sol.is_feasible inst s

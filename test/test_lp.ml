@@ -147,6 +147,109 @@ let simplex_tests (module S : Lp.Simplex.SOLVER) exact =
     simplex_cases
 
 (* ------------------------------------------------------------------ *)
+(* Certify unit tests (hand-built bases)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive Certify.check directly on chosen bases of tiny problems, so
+   each of the accept / repair-primal / repair-dual / fallback branches
+   is pinned by a test that does not depend on what Fsimplex happens to
+   find. *)
+let certify_on snap basis =
+  let sf = Lp.Sform.make snap in
+  match Lp.Sform.rhs sf ~lb:snap.P.lb ~ub:snap.P.ub with
+  | Lp.Sform.Rhs rhs ->
+      Lp.Certify.check ~cache:(Lp.Certify.cache_create ()) sf ~rhs ~lb:snap.P.lb
+        ~basis
+  | _ -> Alcotest.fail "root bounds must produce a rhs"
+
+let certify_snap_le1 =
+  (* min -x-y st x+y <= 1: optimum -1 at a vertex with one var basic. *)
+  build
+    ~vars:[ cvar "x"; cvar "y" ]
+    ~constraints:[ ([ (0, Q.one); (1, Q.one) ], P.Le, Q.one) ]
+    ~objective:[ (0, Q.minus_one); (1, Q.minus_one) ]
+
+let test_certify_accept () =
+  (* Basis {x}: primal and dual feasible, accepted without pivots. *)
+  match certify_on certify_snap_le1 [| 0 |] with
+  | Lp.Certify.Cert_optimal { objective; repaired; _ } ->
+      check_q "objective" Q.minus_one objective;
+      Alcotest.(check bool) "accepted, not repaired" false repaired
+  | _ -> Alcotest.fail "expected Cert_optimal"
+
+let test_certify_repair_primal () =
+  (* Slack basis: primal feasible (slack = 1) but dual infeasible
+     (reduced cost of x is -1), so a primal cleanup must run. *)
+  let slack = 2 (* columns: x, y, slack of the single row *) in
+  match certify_on certify_snap_le1 [| slack |] with
+  | Lp.Certify.Cert_optimal { objective; repaired; _ } ->
+      check_q "objective" Q.minus_one objective;
+      Alcotest.(check bool) "repaired" true repaired
+  | _ -> Alcotest.fail "expected repaired Cert_optimal"
+
+let test_certify_repair_dual () =
+  (* min x st x >= 2 with the slack basic: B = [-1] gives a negative
+     basic value, while the reduced costs are all non-negative — the
+     dual cleanup pivots x in and lands on the optimum 2. *)
+  let s =
+    build
+      ~vars:[ cvar "x" ]
+      ~constraints:[ ([ (0, Q.one) ], P.Ge, Q.two) ]
+      ~objective:[ (0, Q.one) ]
+  in
+  match certify_on s [| 1 |] with
+  | Lp.Certify.Cert_optimal { objective; repaired; _ } ->
+      check_q "objective" Q.two objective;
+      Alcotest.(check bool) "repaired" true repaired
+  | _ -> Alcotest.fail "expected repaired Cert_optimal"
+
+let test_certify_fallback_singular () =
+  (* Two parallel rows and the basis {x, y}: B = [[1,1],[2,2]] is
+     singular, so certification must fail (and the hybrid solver would
+     fall back to the exact two-phase path). *)
+  let s =
+    build
+      ~vars:[ cvar "x"; cvar "y" ]
+      ~constraints:
+        [
+          ([ (0, Q.one); (1, Q.one) ], P.Le, Q.one);
+          ([ (0, Q.two); (1, Q.two) ], P.Le, Q.of_int 3);
+        ]
+      ~objective:[ (0, Q.minus_one); (1, Q.minus_one) ]
+  in
+  match certify_on s [| 0; 1 |] with
+  | Lp.Certify.Cert_fail -> ()
+  | _ -> Alcotest.fail "expected Cert_fail on a singular basis"
+
+let test_inexact_marker () =
+  (* Satellite: Fast's dyadic results are tagged [lp.inexact]; Hybrid's
+     exact results are not, even though its float pass did pivot. *)
+  let s = (fun (_, snap, _) -> snap) (List.nth simplex_cases 1) in
+  let mf = Svutil.Metrics.create () in
+  (match Lp.Simplex.Fast.solve ~metrics:mf s with
+  | Lp.Simplex.Optimal _ -> ()
+  | _ -> Alcotest.fail "fast should solve");
+  Alcotest.(check bool) "fast ticks lp.inexact" true
+    (Svutil.Metrics.counter_value mf "lp.inexact" > 0);
+  let mh = Svutil.Metrics.create () in
+  (match Lp.Simplex.Hybrid.solve ~metrics:mh s with
+  | Lp.Simplex.Optimal { objective; _ } -> check_q "hybrid optimum" (Q.of_ints 34 5) objective
+  | _ -> Alcotest.fail "hybrid should solve");
+  Alcotest.(check int) "hybrid result is exact" 0
+    (Svutil.Metrics.counter_value mh "lp.inexact");
+  Alcotest.(check bool) "hybrid pivoted in floats" true
+    (Svutil.Metrics.counter_value mh "simplex.hybrid.float_pivots" > 0)
+
+let certify_tests =
+  [
+    Alcotest.test_case "accept optimal basis" `Quick test_certify_accept;
+    Alcotest.test_case "repair primal-feasible basis" `Quick test_certify_repair_primal;
+    Alcotest.test_case "repair dual-feasible basis" `Quick test_certify_repair_dual;
+    Alcotest.test_case "fail on singular basis" `Quick test_certify_fallback_singular;
+    Alcotest.test_case "lp.inexact marker" `Quick test_inexact_marker;
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* ILP unit tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -391,6 +494,112 @@ let gen_bounded_lp =
     P.set_objective p (le (List.mapi (fun i c -> (i, Q.of_int c)) obj));
     return (P.snapshot p))
 
+(* Random general-form LPs: Le/Ge/Eq rows, negative right-hand sides
+   and optional upper bounds, so infeasible and unbounded instances
+   appear alongside optimal ones. Used differentially: Hybrid must
+   reproduce Exact's answer bit-for-bit on every shape. *)
+let gen_general_lp =
+  QCheck2.Gen.(
+    let* nv = int_range 1 4 in
+    let* nc = int_range 1 4 in
+    let* ubs = list_size (return nv) (option (int_range 0 6)) in
+    let* rows =
+      list_size (return nc)
+        (triple
+           (list_size (return nv) (int_range (-3) 3))
+           (int_range 0 2)
+           (int_range (-5) 8))
+    in
+    let* obj = list_size (return nv) (int_range (-4) 4) in
+    let p = P.create () in
+    List.iteri
+      (fun i ub ->
+        let ub = Option.map Q.of_int ub in
+        ignore (P.add_var ?ub p (Printf.sprintf "x%d" i)))
+      ubs;
+    List.iter
+      (fun (coeffs, cmp, rhs) ->
+        let cmp = match cmp with 0 -> P.Le | 1 -> P.Ge | _ -> P.Eq in
+        P.add_constraint p
+          (le (List.mapi (fun i c -> (i, Q.of_int c)) coeffs))
+          cmp (Q.of_int rhs))
+      rows;
+    P.set_objective p (le (List.mapi (fun i c -> (i, Q.of_int c)) obj));
+    return (P.snapshot p))
+
+let hybrid_agrees s =
+  match (Lp.Simplex.Exact.solve s, Lp.Simplex.Hybrid.solve s) with
+  | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b ->
+      Q.equal a.objective b.objective && feasible s b.values
+  | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible -> true
+  | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded -> true
+  | _ -> false
+
+(* Deterministic per-instance bound tightenings for the warm-path
+   differential: tighten, relax, and cross the first variable's bounds
+   and compare every reoptimization against a cold exact solve. *)
+let hybrid_warm_agrees s =
+  let s = P.all_integer s in
+  match Lp.Simplex.Hybrid.warm_create s with
+  | None -> false (* bounded all-integer programs are always warmable *)
+  | Some w ->
+      let check_bounds lb ub =
+        let want = Lp.Simplex.Exact.solve (P.with_bounds s ~lb ~ub) in
+        match (Lp.Simplex.Hybrid.warm_solve w ~lb ~ub, want) with
+        | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b -> Q.equal a.objective b.objective
+        | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible -> true
+        | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded -> true
+        | _ -> false
+      in
+      let root_ok =
+        match (Lp.Simplex.Hybrid.warm_root w, Lp.Simplex.Exact.solve s) with
+        | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b -> Q.equal a.objective b.objective
+        | _ -> false
+      in
+      let with_first f =
+        let lb = Array.copy s.P.lb and ub = Array.copy s.P.ub in
+        f lb ub;
+        check_bounds lb ub
+      in
+      root_ok
+      && with_first (fun _ ub -> ub.(0) <- Some Q.zero)
+      && with_first (fun lb _ -> lb.(0) <- Q.of_int 5)
+      && with_first (fun lb ub ->
+             lb.(0) <- Q.of_int 4;
+             ub.(0) <- Some Q.two)
+      && check_bounds s.P.lb s.P.ub
+
+let hybrid_props =
+  [
+    prop "hybrid equals exact on bounded LPs" gen_bounded_lp hybrid_agrees;
+    prop "hybrid equals exact on general LPs" gen_general_lp hybrid_agrees;
+    prop "hybrid warm path equals exact cold solves" gen_bounded_lp
+      hybrid_warm_agrees;
+    prop "hybrid branch and bound agrees with the reference solver"
+      gen_bounded_lp (fun s ->
+        let s' = P.all_integer s in
+        match (Lp.Ilp.Hybrid.solve s', Lp.Ilp.Exact.solve_reference s') with
+        | Lp.Ilp.Optimal a, Lp.Ilp.Optimal b -> Q.equal a.objective b.objective
+        | Lp.Ilp.Infeasible, Lp.Ilp.Infeasible -> true
+        | Lp.Ilp.Unbounded, Lp.Ilp.Unbounded -> true
+        | _ -> false);
+    prop "hybrid branch and bound agrees on general integer programs"
+      gen_general_lp (fun s ->
+        (* Clamp to finite boxes so enumeration-style search terminates;
+           keep the Ge/Eq rows and negative right-hand sides. *)
+        let ub =
+          Array.map
+            (function Some u -> Some u | None -> Some (Q.of_int 6))
+            s.P.ub
+        in
+        let s' = P.all_integer (P.with_bounds s ~lb:s.P.lb ~ub) in
+        match (Lp.Ilp.Hybrid.solve s', Lp.Ilp.Exact.solve_reference s') with
+        | Lp.Ilp.Optimal a, Lp.Ilp.Optimal b -> Q.equal a.objective b.objective
+        | Lp.Ilp.Infeasible, Lp.Ilp.Infeasible -> true
+        | Lp.Ilp.Unbounded, Lp.Ilp.Unbounded -> true
+        | _ -> false);
+  ]
+
 let props =
   [
     prop "exact solution is feasible" gen_bounded_lp (fun s ->
@@ -514,6 +723,18 @@ let () =
     [
       ("simplex exact", simplex_tests (module Lp.Simplex.Exact) true);
       ("simplex fast", simplex_tests (module Lp.Simplex.Fast) false);
+      ( "simplex hybrid",
+        simplex_tests (module Lp.Simplex.Hybrid) true
+        @ [
+            Alcotest.test_case "deadline raises" `Quick (fun () ->
+                let s = (fun (_, snap, _) -> snap) (List.nth simplex_cases 1) in
+                Alcotest.check_raises "expired deadline" Svutil.Deadline.Expired
+                  (fun () ->
+                    ignore
+                      (Lp.Simplex.Hybrid.solve
+                         ~deadline:(Svutil.Deadline.after_ms 0.) s)));
+          ] );
+      ("certify", certify_tests);
       ( "ilp",
         [
           Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
@@ -533,4 +754,5 @@ let () =
           Alcotest.test_case "problem pp" `Quick test_problem_pp_smoke;
         ] );
       ("properties", props);
+      ("hybrid properties", hybrid_props);
     ]

@@ -67,6 +67,34 @@ let test_to_int_opt () =
   Alcotest.(check (option int)) "int" (Some 9) (Q.to_int_opt (Q.of_ints 18 2));
   Alcotest.(check (option int)) "non-int" None (Q.to_int_opt (Q.of_ints 1 2))
 
+(* The unboxed fast path hands off to {!Bigint} beyond [2^30]; exercise
+   arithmetic that crosses the boundary in both directions. *)
+let test_representation_boundary () =
+  let lim = 1 lsl 30 in
+  let big = Q.of_int lim in
+  check_q "promote on add"
+    (Q.make (B.of_int (2 * lim)) B.one)
+    (Q.add big big);
+  check_q "promote on mul"
+    (Q.make (B.mul (B.of_int lim) (B.of_int lim)) B.one)
+    (Q.mul big big);
+  (* demote: a big-representation intermediate that cancels back down *)
+  check_q "demote on div" Q.one (Q.div (Q.mul big big) (Q.mul big big));
+  check_q "demote on sub" (Q.of_int 1) (Q.sub (Q.add big Q.one) big);
+  Alcotest.(check (option int))
+    "to_int_opt across boundary" (Some (2 * lim))
+    (Q.to_int_opt (Q.add big big));
+  (* equality must not depend on how a value was computed *)
+  let a = Q.div (Q.of_int (lim - 1)) (Q.of_int 3) in
+  let b = Q.make (B.of_int (lim - 1)) (B.of_int 3) in
+  Alcotest.(check bool) "same rep either route" true (a = b);
+  Alcotest.(check bool)
+    "near-boundary product"
+    (Q.equal
+       (Q.mul (Q.of_ints (lim - 1) 7) (Q.of_ints 7 (lim - 1)))
+       Q.one)
+    true
+
 (* Property tests *)
 
 let gen_rat =
@@ -74,6 +102,17 @@ let gen_rat =
     let* n = int_range (-10000) 10000 in
     let* d = int_range 1 10000 in
     return (Q.of_ints n d))
+
+(* Mix magnitudes so products and cross-terms land on both sides of the
+   unboxed-representation limit. *)
+let gen_wide_rat =
+  QCheck2.Gen.(
+    let* scale = oneofl [ 1; 1 lsl 15; (1 lsl 30) - 1; 1 lsl 40 ] in
+    let* n = int_range (-1000) 1000 in
+    let* d = int_range 1 1000 in
+    let* flip = bool in
+    return
+      (if flip then Q.of_ints (n * scale) d else Q.of_ints n (d * scale)))
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
 
@@ -100,6 +139,29 @@ let props =
         Float.abs (Q.to_float a -. (Q.to_float (Q.of_bigint (Q.num a)) /. Q.to_float (Q.of_bigint (Q.den a)))) < 1e-9);
     prop "compare antisym" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
         Q.compare a b = -Q.compare b a);
+    (* Wide-magnitude twins of the core laws: the same identities must
+       hold when operands and intermediates straddle the unboxed
+       limit. *)
+    prop "wide add/sub roundtrip" QCheck2.Gen.(pair gen_wide_rat gen_wide_rat)
+      (fun (a, b) -> Q.equal a (Q.add (Q.sub a b) b));
+    prop "wide mul/div roundtrip" QCheck2.Gen.(pair gen_wide_rat gen_wide_rat)
+      (fun (a, b) -> Q.is_zero b || Q.equal a (Q.div (Q.mul a b) b));
+    prop "wide agrees with bigint route"
+      QCheck2.Gen.(pair gen_wide_rat gen_wide_rat)
+      (fun (a, b) ->
+        let via_bigint =
+          Q.make
+            (B.add (B.mul (Q.num a) (Q.den b)) (B.mul (Q.num b) (Q.den a)))
+            (B.mul (Q.den a) (Q.den b))
+        in
+        (* structural equality too: representations must be canonical *)
+        Q.add a b = via_bigint);
+    prop "wide normalized gcd" gen_wide_rat (fun a ->
+        B.equal B.one (B.gcd (Q.num a) (Q.den a)) || Q.is_zero a);
+    prop "wide compare vs float" QCheck2.Gen.(pair gen_wide_rat gen_wide_rat)
+      (fun (a, b) ->
+        let fa = Q.to_float a and fb = Q.to_float b in
+        Float.abs (fa -. fb) < 1e-6 || Q.compare a b = Float.compare fa fb);
   ]
 
 let () =
@@ -117,6 +179,8 @@ let () =
           Alcotest.test_case "sum" `Quick test_sum;
           Alcotest.test_case "int helpers" `Quick test_int_helpers;
           Alcotest.test_case "to_int_opt" `Quick test_to_int_opt;
+          Alcotest.test_case "representation boundary" `Quick
+            test_representation_boundary;
         ] );
       ("properties", props);
     ]

@@ -10,7 +10,7 @@ let q = Alcotest.testable Q.pp Q.equal
    attributes for subset brute force (which we still cross-check once on
    a tiny instance below). *)
 let opt_solution inst =
-  match Core.Exact.solve ~fast:true inst with
+  match Core.Exact.solve inst with
   | Some { Core.Exact.solution; proven_optimal } ->
       if not proven_optimal then Alcotest.fail "node limit hit on gadget";
       solution
