@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-smoke-json bench-json bench-compare lint-examples batch-examples clean
+.PHONY: build test bench bench-smoke bench-smoke-json bench-json bench-compare lint-examples flow-examples batch-examples clean
 
 # Output path for bench-json; override to record a new baseline, e.g.
 #   make bench-json OUT=BENCH_PR2.json
@@ -10,8 +10,8 @@ SMOKE_OUT ?= BENCH_SMOKE.json
 # Baselines for bench-compare, e.g.
 #   make bench-compare BASE=BENCH_PR1.json NEW=BENCH_PR3.json
 # Exits nonzero when any kernel regressed by more than 10%.
-BASE ?= BENCH_PR3.json
-NEW ?= BENCH_PR6.json
+BASE ?= BENCH_PR6.json
+NEW ?= BENCH_PR7.json
 
 # Optional kernel filter (Str regexp) for bench-json, e.g.
 #   make bench-json FILTER=simplex
@@ -64,6 +64,19 @@ lint-examples:
 	  echo "$$json" | grep -q "\"code\":\"$$code\"" \
 	    || { echo "FAIL: $$f did not report $$code (json)"; echo "$$json"; exit 1; }; \
 	  echo "ok: $$f -> $$code"; \
+	done
+
+# Privacy-flow analysis over the example corpus: every shipped spec
+# must analyze without error in both text and JSON form, and the JSON
+# must carry the verdict partition the solvers prune with.
+flow-examples:
+	dune build bin/secure_view_cli.exe
+	@for f in examples/*.swf; do \
+	  ./_build/default/bin/secure_view_cli.exe flow $$f >/dev/null || exit 1; \
+	  json=$$(./_build/default/bin/secure_view_cli.exe flow $$f --json) || exit 1; \
+	  echo "$$json" | grep -q '"must_hide"' \
+	    || { echo "FAIL: $$f flow --json lacks verdicts"; echo "$$json"; exit 1; }; \
+	  echo "ok: $$f -> flow"; \
 	done
 
 # Engine batch driver over the shipped specs: every good example must

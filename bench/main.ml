@@ -86,6 +86,22 @@ let timing_tests ~lp_mode () =
     Wf.Gen.random_workflow (Rng.create 47)
       { Wf.Gen.default with n_modules = 2; max_inputs = 2; max_outputs = 1 }
   in
+  (* Flow-rich instances: set-constraint modules whose options overlap
+     on common attributes, so Core.Flow proves In_every_option
+     must-hides that the LP relaxation only sees fractionally (it
+     splits across the options). Fixing them prunes real
+     branch-and-bound nodes; the seeds are picked so the reduction is
+     strict (9 -> 1 and 7 -> 2 nodes). *)
+  let flow_inst_a =
+    Gen_instances.random_sets (Rng.create 2)
+      { Gen_instances.default_shape with n_modules = 5 }
+      ~lmax:3
+  in
+  let flow_inst_b =
+    Gen_instances.random_sets (Rng.create 22)
+      { Gen_instances.default_shape with n_modules = 5 }
+      ~lmax:3
+  in
   (* [stage] times an uninstrumented kernel; [stage_m] takes the kernel
      as a function of a metrics registry, so the same closure serves the
      default nop-registry timing, the [--metrics] live-registry timing,
@@ -96,13 +112,14 @@ let timing_tests ~lp_mode () =
   (* Gadget ILP kernels go through the unified engine, like the CLI and
      the experiment driver; the engine adds one record allocation on top
      of the branch-and-bound, so timings stay comparable to PR3. *)
-  let engine_exact ?(metrics = Svutil.Metrics.nop) inst =
+  let engine_exact ?(metrics = Svutil.Metrics.nop) ?(static_fixing = true) inst =
     Core.Engine.run
       {
         (Core.Engine.default_request inst) with
         Core.Engine.meth = Core.Engine.Exact;
         Core.Engine.lp_mode;
         Core.Engine.metrics;
+        Core.Engine.static_fixing;
       }
   in
   let lp_x inst =
@@ -203,6 +220,20 @@ let timing_tests ~lp_mode () =
              ~metrics:m card_inst));
     stage "e18_derive_requirement" (fun () ->
         ignore (Core.Derive.requirement fig1 ~gamma:4));
+    (* Flow-kernel pairs: the static privacy-flow pass itself, and two
+       flow-rich instances branch-and-bound solved with and without its
+       variable fixings — a single run yields the pruning win
+       (ilp.nodes with vs without, ilp.static_fixed > 0). *)
+    stage_m "e19_flow_analysis" (fun m ->
+        ignore (Core.Flow.analyze ~metrics:m flow_inst_a));
+    stage_m "e19_ilp_static_fixing" (fun m ->
+        ignore (engine_exact ~metrics:m flow_inst_a));
+    stage_m "e19_ilp_no_static_fixing" (fun m ->
+        ignore (engine_exact ~metrics:m ~static_fixing:false flow_inst_a));
+    stage_m "e20_ilp_static_fixing" (fun m ->
+        ignore (engine_exact ~metrics:m flow_inst_b));
+    stage_m "e20_ilp_no_static_fixing" (fun m ->
+        ignore (engine_exact ~metrics:m ~static_fixing:false flow_inst_b));
   ]
 
 (* Flat { "test": ns_per_run } object; hand-rolled since the estimates

@@ -6,6 +6,7 @@
    secure_view_cli solve FILE           solve the workflow Secure-View problem
    secure_view_cli batch FILES...       solve many files, one JSON line each
    secure_view_cli check FILE --hide... validate a proposed view
+   secure_view_cli flow FILE            static privacy-flow analysis
 
    All solving goes through Core.Engine: one request/result shape per
    method, deadlines, and the auto portfolio.
@@ -320,8 +321,15 @@ let json_engine_result (r : Core.Engine.result) =
 let stat_true (r : Core.Engine.result) key =
   List.assoc_opt key r.Core.Engine.stats = Some "true"
 
+let no_static_fixing_arg =
+  Arg.(value & flag
+       & info [ "no-static-fixing" ]
+           ~doc:"Skip the privacy-flow pre-pass that pins must-hide and \
+                 may-expose attributes before branch and bound. The optimum \
+                 is the same either way; this exists to measure the pruning.")
+
 let request_of inst ~meth ~node_limit ~lp_mode ~jobs ~seed ~deadline_ms ~trials
-    ~metrics =
+    ~metrics ~static_fixing =
   {
     (Core.Engine.default_request inst) with
     Core.Engine.meth;
@@ -332,11 +340,12 @@ let request_of inst ~meth ~node_limit ~lp_mode ~jobs ~seed ~deadline_ms ~trials
     deadline_ms;
     trials;
     metrics;
+    static_fixing;
   }
 
 let solve_cmd =
   let run file meth emit_view node_limit lp_mode jobs json seed deadline
-      trials metrics_mode =
+      trials metrics_mode no_static_fixing =
     let spec = load ~preflight:true file in
     let inst = instance_of spec in
     let fields = ref [] in
@@ -348,6 +357,7 @@ let solve_cmd =
       let req =
         request_of inst ~meth ~node_limit ~lp_mode ~jobs ~seed
           ~deadline_ms:deadline ~trials ~metrics:(metrics_of metrics_mode)
+          ~static_fixing:(not no_static_fixing)
       in
       let r = Core.Engine.run req in
       if not json then begin
@@ -407,7 +417,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve the workflow Secure-View problem.")
     Term.(const run $ file_arg $ method_arg $ emit_view_arg $ node_limit_arg
           $ lp_mode_arg $ jobs_arg $ solve_json_arg $ seed_arg $ deadline_arg
-          $ trials_arg $ metrics_arg)
+          $ trials_arg $ metrics_arg $ no_static_fixing_arg)
 
 (* batch ----------------------------------------------------------------- *)
 
@@ -417,7 +427,7 @@ let batch_cmd =
          & info [] ~docv:"FILES" ~doc:"Workflow description files.")
   in
   let run files (_, meth) node_limit lp_mode jobs seed deadline trials
-      metrics_mode =
+      metrics_mode no_static_fixing =
     (* One JSON line per file; a file that fails to parse, lint, or
        solve yields an "ok":false line instead of aborting the batch.
        Each file gets a seed derived from the base seed and its position
@@ -446,6 +456,7 @@ let batch_cmd =
                   request_of inst ~meth ~node_limit ~lp_mode ~jobs:1
                     ~seed:(seed + idx) ~deadline_ms:deadline ~trials
                     ~metrics:(metrics_of metrics_mode)
+                    ~static_fixing:(not no_static_fixing)
                 in
                 let r = Core.Engine.run req in
                 ( Printf.sprintf {|{"file":%s,"ok":true,"result":%s}|}
@@ -469,7 +480,7 @@ let batch_cmd =
              (order and content) does not depend on the job count.")
     Term.(const run $ files_arg $ batch_method_arg $ node_limit_arg
           $ lp_mode_arg $ jobs_arg $ seed_arg $ deadline_arg $ trials_arg
-          $ metrics_arg)
+          $ metrics_arg $ no_static_fixing_arg)
 
 (* check ------------------------------------------------------------------ *)
 
@@ -506,6 +517,31 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc:"Check that a proposed view is safe, and price it.")
     Term.(const run $ file_arg $ hide_arg $ priv_arg)
+
+(* flow ------------------------------------------------------------------ *)
+
+let flow_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the analysis as a JSON object (closures, lattice \
+                   levels, verdicts, bounds, findings).")
+  in
+  let run file json metrics_mode =
+    let spec = load ~preflight:true file in
+    let metrics = metrics_of metrics_mode in
+    let fl = Analysis.Flow.analyze ~metrics spec in
+    if json then print_endline (Analysis.Flow.to_json fl)
+    else print_string (Analysis.Flow.to_text fl);
+    if Svutil.Metrics.enabled metrics then
+      Printf.printf "metrics %s\n" (Svutil.Metrics.to_json metrics)
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Static privacy-flow analysis: dependency closures, the \
+             visible-flow lattice, sound per-module Gamma bounds, and \
+             must-hide / may-expose verdicts with their justifications.")
+    Term.(const run $ file_arg $ json_arg $ metrics_arg)
 
 (* tradeoff ----------------------------------------------------------- *)
 
@@ -565,5 +601,6 @@ let () =
             solve_cmd;
             batch_cmd;
             check_cmd;
+            flow_cmd;
             tradeoff_cmd;
           ]))

@@ -75,6 +75,10 @@ let code_reference =
      "the brute-force oracle is exponential in the input domain; rely on the closed-form checks for this module");
     ("W041", Warning, "workflow world enumeration would exceed the guard",
      "the function-family space is too large to enumerate; rely on the compositional Theorem 4/8 checks");
+    ("W050", Warning, "attribute carries a hiding cost but is irrelevant to every privacy requirement",
+     "flow analysis proves no minimum-cost view ever hides it; set its cost to 0 or drop the attr directive");
+    ("W051", Info, "public module is privatized in every feasible solution",
+     "an adjacent attribute must be hidden in every safe view, so the privatization cost is unavoidable; budget for it or rewire the module");
   ]
 
 let hint_of code =
@@ -492,6 +496,42 @@ let check_raw (raw : P.raw) : diagnostic list =
         "workflow enumeration spans ~%s function families (guard %d)"
         (if !family = max_int then "2^62+" else string_of_int !family)
         Naive.default_max
+  end;
+
+  (* --- privacy flow (W05x) ------------------------------------------ *)
+  (* The flow pass needs the elaborated spec (requirement derivation
+     enumerates per-module hidden subsets), so it only runs once the
+     declarations elaborate cleanly and no blow-up guard fired. *)
+  if structurally_sound && (not (has_errors !diags)) && not (seen "W040")
+     && not (seen "W041")
+  then begin
+    match P.spec_of_raw raw with
+    | Error _ -> ()
+    | Ok spec ->
+        let module_line name =
+          match
+            List.find_opt (fun (m : P.raw_module) -> m.P.m_name = name)
+              raw.P.r_modules
+          with
+          | Some m -> m.P.m_line
+          | None -> 0
+        in
+        List.iter
+          (function
+            | Flow.Useless_cost { attr; cost } ->
+                let line =
+                  match Hashtbl.find_opt attr_tbl attr with
+                  | Some a -> a.P.a_line
+                  | None -> 0
+                in
+                emit ~line ~subject:attr "W050"
+                  "attribute %s is irrelevant to every privacy requirement yet costs %s"
+                  attr (Rat.to_string cost)
+            | Flow.Forced_privatization { p_name; p_cost; attr } ->
+                emit ~line:(module_line p_name) ~subject:p_name "W051"
+                  "public module %s is privatized in every feasible solution (cost %s): attribute %s must always be hidden"
+                  p_name (Rat.to_string p_cost) attr)
+          (Flow.analyze spec).Flow.findings
   end;
 
   List.sort compare_diagnostic !diags

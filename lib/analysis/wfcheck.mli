@@ -21,7 +21,12 @@
     - [W03x] cost/constraint sanity (negative costs, overrides naming
       unknown modules, degenerate domains, duplicate declarations);
     - [W04x] enumeration blow-up estimates (saturating world counts that
-      would exceed the brute-force guard {!Privacy.Worlds_naive.default_max}). *)
+      would exceed the brute-force guard {!Privacy.Worlds_naive.default_max});
+    - [W05x] privacy-flow findings from {!Flow} (attributes provably
+      irrelevant to every requirement yet carrying a cost; public
+      modules privatized in every feasible solution). These need the
+      elaborated spec, so they only fire on specs with no errors and no
+      blow-up guard. *)
 
 type severity = Error | Warning | Info
 

@@ -28,6 +28,7 @@ type request = {
   jobs : int;
   seed : int;
   trials : int;
+  static_fixing : bool;
   metrics : Svutil.Metrics.t;
 }
 
@@ -41,6 +42,7 @@ let default_request inst =
     jobs = 1;
     seed = 0;
     trials = 4;
+    static_fixing = true;
     metrics = Svutil.Metrics.nop;
   }
 
@@ -210,13 +212,23 @@ module Exact_solver = struct
   let solve (req : request) =
     let phases = ref [] in
     let deadline = D.of_ms_opt req.deadline_ms in
+    (* The static pre-pass is sound (optimum-preserving) but not free,
+       so it runs as its own phase; [static_fixing = false] skips it
+       and reproduces the pre-flow search byte for byte. *)
+    let attr_fixings =
+      if req.static_fixing then
+        phase req.metrics phases "flow" (fun () ->
+            Flow.fixings (Flow.analyze ~metrics:req.metrics req.inst))
+      else []
+    in
     let outcome, (st : Lp.Ilp.stats) =
       phase req.metrics phases "search" (fun () ->
           Exact.solve_with_stats ~node_limit:req.node_limit ~mode:req.lp_mode
-            ~jobs:req.jobs ~deadline ~metrics:req.metrics req.inst)
+            ~jobs:req.jobs ~deadline ~metrics:req.metrics ~attr_fixings req.inst)
     in
     let stats =
       [
+        ("static_fixed", string_of_int (List.length attr_fixings));
         ("nodes", string_of_int st.nodes);
         ("node_limit", string_of_int st.node_limit);
         ("limit_hit", string_of_bool st.limit_hit);

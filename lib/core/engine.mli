@@ -43,6 +43,13 @@ type request = {
   jobs : int;  (** concurrent branch-and-bound node evaluations *)
   seed : int;  (** RNG seed for randomized rounding trials *)
   trials : int;  (** rounding trials; the cheapest solution wins *)
+  static_fixing : bool;
+      (** run {!Flow.analyze} before the exact search and pin its
+          must-hide / may-expose verdicts as IP variable fixings. The
+          fixings provably preserve the optimal cost (the returned
+          solution may differ among cost ties); the count appears as
+          the [static_fixed] stat and the pass as the ["flow"] phase.
+          Default true; [false] reproduces the unpruned search. *)
   metrics : Svutil.Metrics.t;
       (** observability registry threaded through every layer the solve
           touches (simplex, branch-and-bound, rounding); the default
@@ -54,7 +61,8 @@ type request = {
 val default_request : Instance.t -> request
 (** [meth = Auto], no deadline, {!Lp.Ilp.default_node_limit} nodes,
     [lp_mode = Lp.Simplex.Hybrid_mode], [jobs = 1], [seed = 0],
-    [trials = 4], [metrics = Svutil.Metrics.nop]. *)
+    [trials = 4], [static_fixing = true],
+    [metrics = Svutil.Metrics.nop]. *)
 
 type result = {
   solution : Solution.t option;  (** [None] = infeasible or refused *)

@@ -25,19 +25,32 @@ let seed_solution inst =
   | _ | (exception _) -> None
 
 let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit)
-    ?(mode = Lp.Simplex.Hybrid_mode) ?(jobs = 1) ?deadline ?metrics inst =
+    ?(mode = Lp.Simplex.Hybrid_mode) ?(jobs = 1) ?deadline ?metrics
+    ?(attr_fixings = []) inst =
   let problem, attr_var = build_ip inst in
+  (* Attribute-level pins (Core.Flow verdicts) become x-variable pins;
+     both IP forms name the hiding variables in [attr_var]. The fixings
+     preserve the optimal value, so the strict greedy cutoff below
+     stays sound: an Infeasible answer still means "nothing beats the
+     seed". *)
+  let fixings =
+    List.filter_map
+      (fun (a, v) -> Option.map (fun i -> (i, v)) (List.assoc_opt a attr_var))
+      attr_fixings
+  in
   let seed = seed_solution inst in
   let cutoff = Option.map (fun (s : Solution.t) -> s.Solution.cost) seed in
   let solve_ilp =
     match mode with
     | Lp.Simplex.Exact_mode ->
         Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
+          ~fixings
     | Lp.Simplex.Hybrid_mode ->
         Lp.Ilp.Hybrid.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline
-          ?metrics
+          ?metrics ~fixings
     | Lp.Simplex.Float_mode ->
         Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
+          ~fixings
   in
   let finish ~proven values =
     let hidden =
@@ -65,8 +78,8 @@ let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit)
   in
   (outcome, stats)
 
-let solve ?node_limit ?mode ?jobs ?deadline ?metrics inst =
-  fst (solve_with_stats ?node_limit ?mode ?jobs ?deadline ?metrics inst)
+let solve ?node_limit ?mode ?jobs ?deadline ?metrics ?attr_fixings inst =
+  fst (solve_with_stats ?node_limit ?mode ?jobs ?deadline ?metrics ?attr_fixings inst)
 
 type refusal = Too_many_attrs of { attrs : int; limit : int }
 

@@ -24,6 +24,7 @@ val solve :
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
+  ?attr_fixings:(string * Rat.t) list ->
   Instance.t ->
   outcome option
 (** [None] when the instance is infeasible. [mode] picks the simplex
@@ -37,7 +38,12 @@ val solve :
     LP-rounding seed lives inside {!Lp.Ilp}, which rounds its own root
     relaxation. [deadline] bounds the branch-and-bound wall clock: on
     expiry the best incumbent found so far (at worst the greedy seed) is
-    returned with [proven_optimal = false]. *)
+    returned with [proven_optimal = false].
+
+    [attr_fixings] pins hiding variables by attribute name before the
+    branch-and-bound runs ({!Flow.fixings} produces sound ones: the
+    optimal cost is unchanged, so the greedy cutoff logic is
+    unaffected). Names without a hiding variable are ignored. *)
 
 val solve_with_stats :
   ?node_limit:int ->
@@ -45,6 +51,7 @@ val solve_with_stats :
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
+  ?attr_fixings:(string * Rat.t) list ->
   Instance.t ->
   outcome option * Lp.Ilp.stats
 (** Like {!solve}, also reporting branch-and-bound search statistics

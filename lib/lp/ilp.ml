@@ -86,7 +86,7 @@ module Make (Solver : Simplex.SOLVER) = struct
 
   let solve_with_stats ?(node_limit = default_node_limit) ?cutoff ?(jobs = 1)
       ?(deadline = Svutil.Deadline.none) ?(metrics = Svutil.Metrics.nop)
-      (s : Problem.snapshot) =
+      ?(fixings = []) (s : Problem.snapshot) =
     let finished ?root_bound ?(deadline_hit = false) nodes limit_hit =
       (* Single source of truth: the same [nodes] count feeds both the
          stats record and the registry, so the two can never drift. *)
@@ -99,6 +99,17 @@ module Make (Solver : Simplex.SOLVER) = struct
     if Svutil.Deadline.expired deadline then
       (Unknown, finished ~deadline_hit:true 0 false)
     else
+      (* Static fixings are pinned bounds, applied before presolve so
+         its fixpoint substitutes the variables out. [n] and the index
+         space are unchanged, so the kappa/cutoff/restore bookkeeping
+         below is oblivious to them. *)
+      let s =
+        match fixings with
+        | [] -> s
+        | fs ->
+            Svutil.Metrics.count metrics "ilp.static_fixed" (List.length fs);
+            Presolve.apply_fixings s fs
+      in
       match Presolve.run s with
       | Presolve.Infeasible -> (Infeasible, finished 0 false)
       | Presolve.Solved { values } ->
@@ -319,8 +330,8 @@ module Make (Solver : Simplex.SOLVER) = struct
           | None, true -> (Unknown, stats)
           | None, false -> (Infeasible, stats))
 
-  let solve ?node_limit ?cutoff ?jobs ?deadline ?metrics s =
-    fst (solve_with_stats ?node_limit ?cutoff ?jobs ?deadline ?metrics s)
+  let solve ?node_limit ?cutoff ?jobs ?deadline ?metrics ?fixings s =
+    fst (solve_with_stats ?node_limit ?cutoff ?jobs ?deadline ?metrics ?fixings s)
 
   (* The pre-overhaul recursive depth-first solver, verbatim: cold LP
      solve per node, fixed 1e-6 snapping tolerance. Kept as the oracle

@@ -47,6 +47,7 @@ module Make (_ : Simplex.SOLVER) : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result
   (** [node_limit] defaults to {!default_node_limit}. [cutoff] prunes
@@ -69,7 +70,12 @@ module Make (_ : Simplex.SOLVER) : sig
       counters from the node solves. Parallel workers write into
       private per-slot registries that are absorbed into [metrics]
       before the call returns, so the caller's registry is never
-      touched concurrently. *)
+      touched concurrently.
+
+      [fixings] pins variables to values before presolve
+      ({!Presolve.apply_fixings}): the caller vouches that each pin
+      preserves the optimal objective (e.g. [Core.Flow]'s static
+      must-hide / may-expose verdicts). Counts [ilp.static_fixed]. *)
 
   val solve_with_stats :
     ?node_limit:int ->
@@ -77,6 +83,7 @@ module Make (_ : Simplex.SOLVER) : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result * stats
 
@@ -93,6 +100,7 @@ module Exact : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result
 
@@ -102,6 +110,7 @@ module Exact : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result * stats
 
@@ -115,6 +124,7 @@ module Fast : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result
 
@@ -124,6 +134,7 @@ module Fast : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result * stats
 
@@ -139,6 +150,7 @@ module Hybrid : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result
 
@@ -148,6 +160,7 @@ module Hybrid : sig
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
+    ?fixings:(int * Rat.t) list ->
     Problem.snapshot ->
     result * stats
 

@@ -69,3 +69,11 @@ let random_workflow rng p =
 
 let random_costs rng ?(max_cost = 10) w =
   List.map (fun a -> (a, Rat.of_int (1 + Rng.int rng max_cost))) (Workflow.attr_names w)
+
+let random_publics rng ?(frac = 0.3) ?(max_cost = 5) w =
+  List.filter_map
+    (fun (m : Wmodule.t) ->
+      if Rng.float rng < frac then
+        Some (m.Wmodule.name, Rat.of_int (1 + Rng.int rng max_cost))
+      else None)
+    (Workflow.modules w)

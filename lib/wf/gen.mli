@@ -33,3 +33,10 @@ val random_workflow : Svutil.Rng.t -> params -> Workflow.t
 
 val random_costs : Svutil.Rng.t -> ?max_cost:int -> Workflow.t -> (string * Rat.t) list
 (** Integer costs in [1, max_cost] (default 10) for every attribute. *)
+
+val random_publics :
+  Svutil.Rng.t -> ?frac:float -> ?max_cost:int -> Workflow.t -> (string * Rat.t) list
+(** Each module independently public with probability [frac] (default
+    0.3), priced with a privatization cost in [1, max_cost] (default
+    5) — the shape [Core.Instance.of_workflow] expects for
+    [~publics]. *)
