@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-smoke-json bench-json bench-compare lint-examples flow-examples batch-examples clean
+.PHONY: build test bench bench-smoke bench-smoke-json bench-json bench-compare lint-examples flow-examples batch-examples delta-examples clean
 
 # Output path for bench-json; override to record a new baseline, e.g.
 #   make bench-json OUT=BENCH_PR2.json
@@ -10,8 +10,8 @@ SMOKE_OUT ?= BENCH_SMOKE.json
 # Baselines for bench-compare, e.g.
 #   make bench-compare BASE=BENCH_PR1.json NEW=BENCH_PR3.json
 # Exits nonzero when any kernel regressed by more than 10%.
-BASE ?= BENCH_PR6.json
-NEW ?= BENCH_PR7.json
+BASE ?= BENCH_PR7.json
+NEW ?= BENCH_PR8.json
 
 # Optional kernel filter (Str regexp) for bench-json, e.g.
 #   make bench-json FILTER=simplex
@@ -84,6 +84,19 @@ flow-examples:
 batch-examples:
 	dune build bin/secure_view_cli.exe
 	./_build/default/bin/secure_view_cli.exe batch examples/*.swf --jobs 4
+
+# Incremental re-solve over the shipped edit scripts: each delta file
+# names its base spec (SPEC_edit.delta -> SPEC.swf) and --verify
+# re-solves the edited instance from scratch, failing on any optimum
+# drift between the incremental and reference answers.
+delta-examples:
+	dune build bin/secure_view_cli.exe
+	@for d in examples/deltas/*.delta; do \
+	  spec=examples/$$(basename $$d .delta | sed 's/_[^_]*$$//').swf; \
+	  ./_build/default/bin/secure_view_cli.exe delta $$spec --edits $$d --verify \
+	    || { echo "FAIL: $$spec + $$d"; exit 1; }; \
+	  echo "ok: $$spec + $$d"; \
+	done
 
 clean:
 	dune clean

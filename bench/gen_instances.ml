@@ -100,3 +100,38 @@ let random_sets rng shape ~lmax =
   I.make
     ~attr_costs:(random_costs rng shape attrs)
     ~mods:(List.map module_req mods) ()
+
+(* Disjoint union of independently generated blocks, every attribute
+   and module name prefixed with its block index. The blocks stay
+   separate coupling components, which is exactly what the incremental
+   re-solve kernels need: an edit inside one block leaves the others
+   provably untouched. *)
+let disjoint_union blocks =
+  let rename i (inst : I.t) =
+    let ra a = Printf.sprintf "b%d_%s" i a in
+    let rreq = function
+      | Req.Card l -> Req.Card l
+      | Req.Sets l ->
+          Req.Sets (List.map (fun (ins, outs) -> (List.map ra ins, List.map ra outs)) l)
+    in
+    ( List.map (fun (a, c) -> (ra a, c)) inst.I.attr_costs,
+      List.map
+        (fun (m : I.module_req) ->
+          {
+            I.m_name = ra m.I.m_name;
+            inputs = List.map ra m.I.inputs;
+            outputs = List.map ra m.I.outputs;
+            req = rreq m.I.req;
+          })
+        inst.I.mods,
+      List.map
+        (fun (p : I.public_mod) ->
+          { I.p_name = ra p.I.p_name; p_cost = p.I.p_cost; p_attrs = List.map ra p.I.p_attrs })
+        inst.I.publics )
+  in
+  let parts = List.mapi rename blocks in
+  I.make
+    ~attr_costs:(List.concat_map (fun (c, _, _) -> c) parts)
+    ~mods:(List.concat_map (fun (_, m, _) -> m) parts)
+    ~publics:(List.concat_map (fun (_, _, p) -> p) parts)
+    ()

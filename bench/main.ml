@@ -102,6 +102,32 @@ let timing_tests ~lp_mode () =
       { Gen_instances.default_shape with n_modules = 5 }
       ~lmax:3
   in
+  let card_union =
+    Gen_instances.disjoint_union
+      (List.init 12 (fun i ->
+           Gen_instances.random_card
+             (Rng.create (60 + i))
+             { Gen_instances.default_shape with n_modules = 3 }))
+  in
+  let sets_union =
+    Gen_instances.disjoint_union
+      (List.init 12 (fun i ->
+           Gen_instances.random_sets
+             (Rng.create (70 + i))
+             { Gen_instances.default_shape with n_modules = 3 }
+             ~lmax:2))
+  in
+  let e21_edit =
+    let attr = List.hd (List.sort compare (Core.Instance.attrs card_union)) in
+    let cost = Rat.add (Core.Instance.attr_cost card_union attr) Rat.one in
+    [ Core.Delta.Set_cost { attr; cost } ]
+  in
+  let e22_edit =
+    [
+      Core.Delta.Set_requirement
+        { m_name = "b0_m1"; req = Core.Requirement.Card [ (1, 0) ] };
+    ]
+  in
   (* [stage] times an uninstrumented kernel; [stage_m] takes the kernel
      as a function of a metrics registry, so the same closure serves the
      default nop-registry timing, the [--metrics] live-registry timing,
@@ -126,6 +152,36 @@ let timing_tests ~lp_mode () =
     match Core.Card_lp.lp_relaxation inst with
     | `Optimal (x, _) -> x
     | `Infeasible -> fun _ -> Rat.zero
+  in
+  (* Incremental re-solve twins: a disjoint union of independent blocks
+     with a single-module edit inside one block. The from-scratch twin
+     re-solves the whole union; Core.Delta's scoped tier re-solves only
+     the dirty block and stitches the parent's clean side back on. The
+     parent solve and the edited instance are prepared outside the
+     timed region — the kernels compare re-solve against re-solve. *)
+  let engine_auto ?(metrics = Svutil.Metrics.nop) inst =
+    Core.Engine.run
+      {
+        (Core.Engine.default_request inst) with
+        Core.Engine.lp_mode;
+        Core.Engine.metrics;
+      }
+  in
+  let delta_twins key union edit =
+    let parent = engine_auto union in
+    let edited =
+      match Core.Delta.apply union edit with
+      | Ok (e, _) -> e
+      | Error msg -> failwith (key ^ ": " ^ msg)
+    in
+    [
+      stage_m (key ^ "_delta_incremental") (fun m ->
+          match Core.Delta.resolve ~lp_mode ~metrics:m ~parent edit with
+          | Ok _ -> ()
+          | Error msg -> failwith (key ^ ": " ^ msg));
+      stage_m (key ^ "_from_scratch") (fun m ->
+          ignore (engine_auto ~metrics:m edited));
+    ]
   in
   let card_x = lp_x card_inst in
   (* Pivot-kernel pair: the same gadget LP cold-solved by the dense
@@ -235,6 +291,8 @@ let timing_tests ~lp_mode () =
     stage_m "e20_ilp_no_static_fixing" (fun m ->
         ignore (engine_exact ~metrics:m ~static_fixing:false flow_inst_b));
   ]
+  @ delta_twins "e21" card_union e21_edit
+  @ delta_twins "e22" sets_union e22_edit
 
 (* Flat { "test": ns_per_run } object; hand-rolled since the estimates
    are plain floats and names are ASCII identifiers. When instrumented

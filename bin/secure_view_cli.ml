@@ -7,6 +7,7 @@
    secure_view_cli batch FILES...       solve many files, one JSON line each
    secure_view_cli check FILE --hide... validate a proposed view
    secure_view_cli flow FILE            static privacy-flow analysis
+   secure_view_cli delta FILE --edits S incremental re-solve under an edit script
 
    All solving goes through Core.Engine: one request/result shape per
    method, deadlines, and the auto portfolio.
@@ -543,6 +544,157 @@ let flow_cmd =
              must-hide / may-expose verdicts with their justifications.")
     Term.(const run $ file_arg $ json_arg $ metrics_arg)
 
+(* delta ----------------------------------------------------------------- *)
+
+let delta_cmd =
+  let edits_arg =
+    Arg.(required & opt (some file) None
+         & info [ "edits" ] ~docv:"SCRIPT"
+             ~doc:"Edit script to apply (see Core.Delta.parse_script: one \
+                   edit per line — attr/cost/req/rewire/add/drop).")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Also re-solve the edited instance from scratch and check \
+                   the incremental optimum matches; exit non-zero on drift.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit parent and incremental results as one JSON object.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let b = Buffer.create 1024 in
+        let chunk = Bytes.create 4096 in
+        let rec go () =
+          let n = input ic chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes b chunk 0 n;
+            go ()
+          end
+        in
+        go ();
+        Buffer.contents b)
+  in
+  let run file edits node_limit lp_mode jobs json verify metrics_mode =
+    let spec = load ~preflight:true file in
+    let inst = instance_of spec in
+    let script =
+      match Core.Delta.parse_script (read_file edits) with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "error: %s: %s\n" edits e;
+          exit 2
+    in
+    let metrics = metrics_of metrics_mode in
+    let parent =
+      Core.Engine.run
+        {
+          (Core.Engine.default_request inst) with
+          Core.Engine.node_limit;
+          lp_mode;
+          jobs;
+        }
+    in
+    match
+      Core.Delta.resolve ~node_limit ~lp_mode ~jobs ~metrics ~parent script
+    with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+    | Ok o ->
+        let r = o.Core.Delta.result in
+        let reuse_str =
+          match o.Core.Delta.reuse with
+          | Core.Delta.Noop -> "noop"
+          | Core.Delta.Scoped { dirty; total } ->
+              Printf.sprintf "scoped %d/%d" dirty total
+          | Core.Delta.Full -> "full"
+        in
+        let verified =
+          if not verify then None
+          else
+            let scratch =
+              Core.Engine.run
+                {
+                  (Core.Engine.default_request o.Core.Delta.edited) with
+                  Core.Engine.node_limit;
+                  lp_mode;
+                  jobs;
+                }
+            in
+            let cost (r : Core.Engine.result) =
+              Option.map
+                (fun (s : Core.Solution.t) -> s.Core.Solution.cost)
+                r.Core.Engine.solution
+            in
+            Some
+              (match (cost r, cost scratch) with
+              | None, None -> Ok ()
+              | Some a, Some b when Rat.equal a b -> Ok ()
+              | a, b ->
+                  let show = function
+                    | Some c -> Rat.to_string c
+                    | None -> "infeasible"
+                  in
+                  Error (show a, show b))
+        in
+        if json then
+          print_endline
+            (json_assoc
+               ([
+                  ("parent", json_engine_result parent);
+                  ("delta", json_engine_result r);
+                  ("reuse", json_str reuse_str);
+                  ("touched", json_list o.Core.Delta.touched);
+                  ("dirty", json_list o.Core.Delta.dirty);
+                ]
+               @
+               match verified with
+               | None -> []
+               | Some (Ok ()) -> [ ("verified", "true") ]
+               | Some (Error _) -> [ ("verified", "false") ]))
+        else begin
+          (match parent.Core.Engine.solution with
+          | Some s -> Format.printf "parent   %a@." Core.Solution.pp s
+          | None -> print_endline "parent   infeasible");
+          Printf.printf "reuse    %s (%d touched, %d dirty)\n" reuse_str
+            (List.length o.Core.Delta.touched)
+            (List.length o.Core.Delta.dirty);
+          (match r.Core.Engine.solution with
+          | Some s ->
+              Format.printf "%-8s %a@."
+                (if r.Core.Engine.proven_optimal then "optimal" else "best")
+                Core.Solution.pp s
+          | None -> print_endline "edited   infeasible");
+          (match verified with
+          | None -> ()
+          | Some (Ok ()) ->
+              print_endline "verify   incremental optimum = from-scratch"
+          | Some (Error _) -> ());
+          if Svutil.Metrics.enabled metrics then
+            Printf.printf "metrics %s\n" (Svutil.Metrics.to_json metrics)
+        end;
+        match verified with
+        | Some (Error (inc, scr)) ->
+            Printf.eprintf
+              "error: optimum drift: incremental %s, from-scratch %s\n" inc scr;
+            exit 1
+        | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "delta"
+       ~doc:"Apply an edit script to a solved workflow and re-solve \
+             incrementally (Core.Delta): no-op detection by canonical form, \
+             dirty-set scoping, warm-started branch and bound.")
+    Term.(const run $ file_arg $ edits_arg $ node_limit_arg $ lp_mode_arg
+          $ jobs_arg $ json_arg $ verify_arg $ metrics_arg)
+
 (* tradeoff ----------------------------------------------------------- *)
 
 let tradeoff_cmd =
@@ -602,5 +754,6 @@ let () =
             batch_cmd;
             check_cmd;
             flow_cmd;
+            delta_cmd;
             tradeoff_cmd;
           ]))

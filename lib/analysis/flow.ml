@@ -63,37 +63,18 @@ type t = {
 (* Dependency closures                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* One pass per direction: modules are topologically sorted, so a
-   module's inputs have their upstream sets finished before its outputs
-   need them (and dually for downstream over the reversed order). An
-   attribute has a unique producer but possibly several consumers,
-   hence the union on the downstream side. *)
-let closures w =
-  let get tbl a = Option.value ~default:[] (Hashtbl.find_opt tbl a) in
-  let up : (string, string list) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun m ->
-      let deps =
-        List.fold_left
-          (fun acc i -> Listx.union acc (i :: get up i))
-          [] (M.input_names m)
-      in
-      List.iter (fun o -> Hashtbl.replace up o deps) (M.output_names m))
-    (W.modules w);
-  let down : (string, string list) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun m ->
-      let deps =
-        List.fold_left
-          (fun acc o -> Listx.union acc (o :: get down o))
-          [] (M.output_names m)
-      in
-      List.iter
-        (fun i -> Hashtbl.replace down i (Listx.union deps (get down i)))
-        (M.input_names m))
-    (List.rev (W.modules w));
-  ( (fun a -> List.sort compare (get up a)),
-    fun a -> List.sort compare (get down a) )
+(* The single-pass-per-direction algorithm lives in Core.Delta (the
+   incremental engine needs it on bare wiring pairs); this wrapper just
+   adapts a workflow's module list. *)
+let wiring w =
+  List.map (fun m -> (M.input_names m, M.output_names m)) (W.modules w)
+
+let closures w = Core.Delta.wiring_closures (wiring w)
+
+let component w seeds =
+  Core.Delta.component
+    ~groups:(List.map (fun (ins, outs) -> ins @ outs) (wiring w))
+    ~seeds
 
 (* ------------------------------------------------------------------ *)
 (* The lattice fixpoint                                                *)

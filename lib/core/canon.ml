@@ -1,0 +1,215 @@
+(* Color refinement over the instance's incidence structure. Nodes are
+   attributes, private modules and public modules; colors start from the
+   name-free payload (cost, requirement shape, privatization cost) and
+   are refined with the sorted multiset of neighbor colors until the
+   partition stops splitting. Names never enter a color, so every
+   derived quantity is rename-invariant by construction. *)
+
+let md5 s = Digest.to_hex (Digest.string s)
+
+let sorted_concat l = String.concat ";" (List.sort compare l)
+
+let card_shape l =
+  String.concat ","
+    (List.map
+       (fun (a, b) -> Printf.sprintf "%d:%d" a b)
+       (Requirement.normalize_card l))
+
+let refine (inst : Instance.t) =
+  let attrs = Instance.attrs inst in
+  let acol : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace acol a ("a:" ^ Rat.to_string (Instance.attr_cost inst a)))
+    attrs;
+  let mods = Array.of_list inst.Instance.mods in
+  let pubs = Array.of_list inst.Instance.publics in
+  let mcol =
+    Array.map
+      (fun (m : Instance.module_req) ->
+        match m.Instance.req with
+        | Requirement.Card l -> "m:card:" ^ card_shape l
+        | Requirement.Sets l -> Printf.sprintf "m:sets:%d" (List.length l))
+      mods
+  in
+  let pcol =
+    Array.map
+      (fun (p : Instance.public_mod) -> "p:" ^ Rat.to_string p.Instance.p_cost)
+      pubs
+  in
+  let ac a = Hashtbl.find acol a in
+  let distinct () =
+    let seen = Hashtbl.create 16 in
+    let add c = Hashtbl.replace seen c () in
+    Hashtbl.iter (fun _ c -> add c) acol;
+    Array.iter add mcol;
+    Array.iter add pcol;
+    Hashtbl.length seen
+  in
+  let round () =
+    (* Synchronous update: every new color reads only old colors. *)
+    let acol' = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let ds = ref [] in
+        Array.iteri
+          (fun i (m : Instance.module_req) ->
+            if List.mem a m.Instance.inputs then ds := ("i" ^ mcol.(i)) :: !ds;
+            if List.mem a m.Instance.outputs then ds := ("o" ^ mcol.(i)) :: !ds)
+          mods;
+        Array.iteri
+          (fun j (p : Instance.public_mod) ->
+            if List.mem a p.Instance.p_attrs then ds := ("g" ^ pcol.(j)) :: !ds)
+          pubs;
+        Hashtbl.replace acol' a (md5 (ac a ^ "|" ^ sorted_concat !ds)))
+      attrs;
+    let mcol' =
+      Array.mapi
+        (fun i (m : Instance.module_req) ->
+          let req =
+            match m.Instance.req with
+            | Requirement.Card l -> "card:" ^ card_shape l
+            | Requirement.Sets l ->
+                let opt (ins, outs) =
+                  Printf.sprintf "(%s/%s)"
+                    (sorted_concat (List.map ac ins))
+                    (sorted_concat (List.map ac outs))
+                in
+                "sets:" ^ sorted_concat (List.map opt l)
+          in
+          md5
+            (Printf.sprintf "%s|%s|I{%s}|O{%s}" mcol.(i) req
+               (sorted_concat (List.map ac m.Instance.inputs))
+               (sorted_concat (List.map ac m.Instance.outputs))))
+        mods
+    in
+    let pcol' =
+      Array.mapi
+        (fun j (p : Instance.public_mod) ->
+          md5
+            (pcol.(j) ^ "|" ^ sorted_concat (List.map ac p.Instance.p_attrs)))
+        pubs
+    in
+    List.iter (fun a -> Hashtbl.replace acol a (Hashtbl.find acol' a)) attrs;
+    Array.blit mcol' 0 mcol 0 (Array.length mcol);
+    Array.blit pcol' 0 pcol 0 (Array.length pcol)
+  in
+  let nodes = List.length attrs + Array.length mods + Array.length pubs in
+  let rec go k d =
+    if k < nodes + 1 then begin
+      round ();
+      let d' = distinct () in
+      if d' > d then go (k + 1) d'
+    end
+  in
+  go 0 (distinct ());
+  (ac, mcol, pcol)
+
+let digest inst =
+  let ac, mcol, pcol = refine inst in
+  let cols =
+    List.map ac (Instance.attrs inst)
+    @ Array.to_list mcol @ Array.to_list pcol
+  in
+  md5 (String.concat "," (List.sort compare cols))
+
+let form inst =
+  let ac, _mcol, _pcol = refine inst in
+  (* Relabel attributes by (stable color, original name): the tie-break
+     keeps the output deterministic; soundness of [form] equality does
+     not depend on it (any relabeling exhibits the isomorphism). Module
+     and public lines are name-free, so sorting the serialized lines
+     canonicalizes their order directly. *)
+  let order =
+    List.sort
+      (fun a b -> compare (ac a, a) (ac b, b))
+      (Instance.attrs inst)
+  in
+  let canon = Hashtbl.create 16 in
+  List.iteri (fun i a -> Hashtbl.replace canon a (Printf.sprintf "a%d" i)) order;
+  let cn a = Hashtbl.find canon a in
+  let cns l = List.sort compare (List.map cn l) in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf "%s=%s\n" (cn a) (Rat.to_string (Instance.attr_cost inst a))))
+    order;
+  let mods =
+    List.sort compare
+      (List.map
+         (fun (m : Instance.module_req) ->
+           let req =
+             match m.Instance.req with
+             | Requirement.Card l -> "card " ^ card_shape l
+             | Requirement.Sets l ->
+                 let opt (ins, outs) =
+                   Printf.sprintf "(%s/%s)"
+                     (String.concat "," (cns ins))
+                     (String.concat "," (cns outs))
+                 in
+                 "sets " ^ String.concat " " (List.sort compare (List.map opt l))
+           in
+           Printf.sprintf "mod I[%s] O[%s] %s\n"
+             (String.concat "," (cns m.Instance.inputs))
+             (String.concat "," (cns m.Instance.outputs))
+             req)
+         inst.Instance.mods)
+  in
+  List.iter (Buffer.add_string b) mods;
+  let pubs =
+    List.sort compare
+      (List.map
+         (fun (p : Instance.public_mod) ->
+           Printf.sprintf "pub %s [%s]\n"
+             (Rat.to_string p.Instance.p_cost)
+             (String.concat "," (cns p.Instance.p_attrs)))
+         inst.Instance.publics)
+  in
+  List.iter (Buffer.add_string b) pubs;
+  Buffer.contents b
+
+let equal a b = String.equal (form a) (form b)
+
+(* A cheap isomorphism invariant: sorted name-free summaries of the
+   three node kinds, no refinement, no hashing. Unequal fingerprints
+   refute isomorphism in O(n log n); equal fingerprints decide nothing.
+   Callers use it to skip the refinement on the common
+   obviously-changed case. *)
+let fingerprint (inst : Instance.t) =
+  let costs =
+    List.sort compare
+      (List.map (fun (_, c) -> Rat.to_string c) inst.Instance.attr_costs)
+  in
+  let mods =
+    List.sort compare
+      (List.map
+         (fun (m : Instance.module_req) ->
+           let req =
+             match m.Instance.req with
+             | Requirement.Card l -> "card " ^ card_shape l
+             | Requirement.Sets l ->
+                 "sets "
+                 ^ sorted_concat
+                     (List.map
+                        (fun (i, o) ->
+                          Printf.sprintf "%d/%d" (List.length i)
+                            (List.length o))
+                        l)
+           in
+           Printf.sprintf "%d>%d %s"
+             (List.length m.Instance.inputs)
+             (List.length m.Instance.outputs)
+             req)
+         inst.Instance.mods)
+  in
+  let pubs =
+    List.sort compare
+      (List.map
+         (fun (p : Instance.public_mod) ->
+           Printf.sprintf "%s#%d"
+             (Rat.to_string p.Instance.p_cost)
+             (List.length p.Instance.p_attrs))
+         inst.Instance.publics)
+  in
+  String.concat "|" (costs @ mods @ pubs)

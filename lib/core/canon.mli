@@ -1,0 +1,44 @@
+(** Canonical forms and rename-invariant digests of Secure-View
+    instances.
+
+    The PR 5 metamorphic suite proves that renaming attributes (and
+    modules) preserves optima; this module turns that fact into a usable
+    key. A color-refinement pass (Weisfeiler–Leman style, over the
+    attribute / module / public incidence structure) assigns every node
+    a color that depends only on costs, requirement shapes and wiring —
+    never on names — and two artifacts are derived from the stable
+    coloring:
+
+    - {!digest}: a hex string invariant under any renaming, suitable as
+      a cache key (ROADMAP item 1) — isomorphic instances always agree;
+      unequal instances collide only with MD5 probability;
+    - {!form}: a full canonical serialization under a color-sorted
+      relabeling. Equal forms exhibit an explicit attribute bijection
+      making the instances textually identical, so [form] equality
+      {e proves} isomorphism (and hence equal optima) — no hash
+      collision caveat. [Core.Delta] uses it to detect no-op edits.
+
+    Completeness caveat: when the refinement leaves symmetric-looking
+    attributes in one color class, the relabeling breaks ties by
+    original name, so two isomorphic instances can (rarely) have
+    different forms. That only costs a missed equality — never a false
+    one. *)
+
+val digest : Instance.t -> string
+(** Rename-invariant instance fingerprint (32 hex chars). *)
+
+val form : Instance.t -> string
+(** Canonical serialization. [form a = form b] implies [a] and [b] are
+    isomorphic (equal optimal cost); the converse can fail on color
+    ties. *)
+
+val equal : Instance.t -> Instance.t -> bool
+(** [form] equality: a sound isomorphism check. *)
+
+val fingerprint : Instance.t -> string
+(** A cheap necessary condition for isomorphism: sorted name-free
+    summaries (attribute costs, module arities and requirement shapes,
+    public costs) with no refinement or hashing. Isomorphic instances
+    always agree; unequal fingerprints refute isomorphism in
+    [O(n log n)]. {!Delta.resolve} checks it before paying for {!form},
+    so the common obviously-changed edit skips the refinement. *)

@@ -7,6 +7,7 @@ type built = {
   problem : Lp.Problem.snapshot;
   attr_var : (string * int) list;
   pub_var : (string * int) list;
+  point_of : Solution.t -> Rat.t array option;
 }
 
 let card_of (m : Instance.module_req) =
@@ -49,8 +50,9 @@ let build ?(variant = Full) (inst : Instance.t) =
       obj := L.add !obj (L.term (List.assoc pub.Instance.p_name pub_var) pub.Instance.p_cost))
     inst.Instance.publics;
   P.set_objective p !obj;
-  List.iter
-    (fun (m : Instance.module_req) ->
+  let mod_vars =
+    List.map
+      (fun (m : Instance.module_req) ->
       let card = card_of m in
       let mname = m.Instance.m_name in
       let r_vars =
@@ -127,9 +129,52 @@ let build ?(variant = Full) (inst : Instance.t) =
           vars
       in
       couple y_vars;
-      couple z_vars)
-    inst.Instance.mods;
-  { problem = P.snapshot p; attr_var; pub_var }
+      couple z_vars;
+      (m, card, r_vars, y_vars, z_vars))
+      inst.Instance.mods
+  in
+  let problem = P.snapshot p in
+  (* A full-space feasible point witnessing a given solution, for warm
+     incumbent injection ({!Lp.Ilp}): hidden attributes and exposed
+     publics set their indicators; per module the first satisfied
+     cardinality pair is selected and credited by exactly the hidden
+     attributes. [None] when the solution satisfies some module by no
+     pair — i.e. it is not actually feasible. *)
+  let point_of (s : Solution.t) =
+    let hidden = s.Solution.hidden in
+    let is_hidden a = List.mem a hidden in
+    let v = Array.make problem.P.n Rat.zero in
+    List.iter (fun (a, i) -> if is_hidden a then v.(i) <- Rat.one) attr_var;
+    List.iter
+      (fun (pub : Instance.public_mod) ->
+        if List.exists is_hidden pub.Instance.p_attrs then
+          v.(List.assoc pub.Instance.p_name pub_var) <- Rat.one)
+      inst.Instance.publics;
+    try
+      List.iter
+        (fun ((m : Instance.module_req), card, r_vars, y_vars, z_vars) ->
+          let n_in = List.length (List.filter is_hidden m.Instance.inputs) in
+          let n_out = List.length (List.filter is_hidden m.Instance.outputs) in
+          let j =
+            let rec find j = function
+              | [] -> raise Exit
+              | (alpha, beta) :: _ when n_in >= alpha && n_out >= beta -> j
+              | _ :: rest -> find (j + 1) rest
+            in
+            find 0 card
+          in
+          v.(List.nth r_vars j) <- Rat.one;
+          List.iter
+            (fun (b, ys) -> if is_hidden b then v.(List.nth ys j) <- Rat.one)
+            y_vars;
+          List.iter
+            (fun (b, zs) -> if is_hidden b then v.(List.nth zs j) <- Rat.one)
+            z_vars)
+        mod_vars;
+      Some v
+    with Exit -> None
+  in
+  { problem; attr_var; pub_var; point_of }
 
 let lp_relaxation ?variant ?(mode = Lp.Simplex.Hybrid_mode) ?deadline ?metrics
     inst =

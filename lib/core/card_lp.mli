@@ -24,6 +24,11 @@ type built = {
   problem : Lp.Problem.snapshot;
   attr_var : (string * int) list;
   pub_var : (string * int) list;
+  point_of : Solution.t -> Rat.t array option;
+      (** a full-space feasible point witnessing the given solution
+          (selected options and credits included), for warm incumbent
+          injection into {!Lp.Ilp}; [None] when the solution does not
+          actually satisfy every module *)
 }
 
 val build : ?variant:variant -> Instance.t -> built

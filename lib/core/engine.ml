@@ -29,6 +29,7 @@ type request = {
   seed : int;
   trials : int;
   static_fixing : bool;
+  warm_seed : Solution.t option;
   metrics : Svutil.Metrics.t;
 }
 
@@ -43,6 +44,7 @@ let default_request inst =
     seed = 0;
     trials = 4;
     static_fixing = true;
+    warm_seed = None;
     metrics = Svutil.Metrics.nop;
   }
 
@@ -54,6 +56,8 @@ let rounding_mode = function
   | Lp.Simplex.Float_mode -> Lp.Simplex.Hybrid_mode
   | m -> m
 
+type solved_state = { solved_inst : Instance.t; canon : string Lazy.t }
+
 type result = {
   solution : Solution.t option;
   lower_bound : Rat.t option;
@@ -63,6 +67,7 @@ type result = {
   stats : (string * string) list;
   method_used : meth;
   metrics : Svutil.Metrics.t;
+  state : solved_state option;
 }
 
 module type Solver_sig = sig
@@ -98,6 +103,7 @@ let make_result ~metrics ~phases ~method_used ?(stats = []) ?solution
     stats;
     method_used;
     metrics;
+    state = None;
   }
 
 let greedy_solution inst =
@@ -224,10 +230,14 @@ module Exact_solver = struct
     let outcome, (st : Lp.Ilp.stats) =
       phase req.metrics phases "search" (fun () ->
           Exact.solve_with_stats ~node_limit:req.node_limit ~mode:req.lp_mode
-            ~jobs:req.jobs ~deadline ~metrics:req.metrics ~attr_fixings req.inst)
+            ~jobs:req.jobs ~deadline ~metrics:req.metrics ?seed:req.warm_seed
+            ~attr_fixings req.inst)
     in
     let stats =
-      [
+      (match req.warm_seed with
+      | Some _ -> [ ("warm_seeded", "true") ]
+      | None -> [])
+      @ [
         ("static_fixed", string_of_int (List.length attr_fixings));
         ("nodes", string_of_int st.nodes);
         ("node_limit", string_of_int st.node_limit);
@@ -343,4 +353,9 @@ let run req =
         r with
         method_used = m;
         timings = r.timings @ [ ("total", total_ms) ];
+        (* Solved-state capture: the instance this result answers, plus
+           its canonical form (lazily — most callers never pay for it).
+           [Core.Delta] re-solves edits against this. *)
+        state =
+          Some { solved_inst = req.inst; canon = lazy (Canon.form req.inst) };
       }

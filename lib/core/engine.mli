@@ -50,6 +50,12 @@ type request = {
           solution may differ among cost ties); the count appears as
           the [static_fixed] stat and the pass as the ["flow"] phase.
           Default true; [false] reproduces the unpruned search. *)
+  warm_seed : Solution.t option;
+      (** a known feasible solution to seed the exact search with
+          (cutoff + warm incumbent; see {!Exact.solve}) — the
+          {!Delta} re-solve path passes the patched parent solution
+          here. Ignored by the non-exact methods; an infeasible seed is
+          ignored everywhere. Default [None]. *)
   metrics : Svutil.Metrics.t;
       (** observability registry threaded through every layer the solve
           touches (simplex, branch-and-bound, rounding); the default
@@ -61,8 +67,19 @@ type request = {
 val default_request : Instance.t -> request
 (** [meth = Auto], no deadline, {!Lp.Ilp.default_node_limit} nodes,
     [lp_mode = Lp.Simplex.Hybrid_mode], [jobs = 1], [seed = 0],
-    [trials = 4], [static_fixing = true],
+    [trials = 4], [static_fixing = true], [warm_seed = None],
     [metrics = Svutil.Metrics.nop]. *)
+
+type solved_state = {
+  solved_inst : Instance.t;  (** the instance this result answers *)
+  canon : string Lazy.t;
+      (** its canonical form ({!Canon.form}), forced on first use —
+          {!Delta} compares it against the edited instance to detect
+          no-op edits *)
+}
+(** What {!run} captures so a later {!Delta.resolve} can re-solve an
+    edited instance against this result without the caller keeping the
+    instance around separately. *)
 
 type result = {
   solution : Solution.t option;  (** [None] = infeasible or refused *)
@@ -86,6 +103,9 @@ type result = {
           equal to the [nodes] stat) and the phase spans nested under
           ["solve"], whose measurements are the same clock reads that
           produced [timings]. *)
+  state : solved_state option;
+      (** filled by {!run} (and by {!Delta.resolve} for its edited
+          results); [None] on results assembled outside the engine *)
 }
 
 module type Solver_sig = sig

@@ -8,11 +8,11 @@ let all_cardinality inst =
 
 let build_ip inst =
   if all_cardinality inst then
-    let { Card_lp.problem; attr_var; _ } = Card_lp.build inst in
-    (problem, attr_var)
+    let { Card_lp.problem; attr_var; point_of; _ } = Card_lp.build inst in
+    (problem, attr_var, point_of)
   else
-    let { Set_lp.problem; attr_var; _ } = Set_lp.build inst in
-    (problem, attr_var)
+    let { Set_lp.problem; attr_var; point_of; _ } = Set_lp.build inst in
+    (problem, attr_var, point_of)
 
 (* Cheapest feasible solution we can get without branching: the greedy
    heuristic. Its cost seeds the branch-and-bound as a strict cutoff, so
@@ -25,9 +25,9 @@ let seed_solution inst =
   | _ | (exception _) -> None
 
 let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit)
-    ?(mode = Lp.Simplex.Hybrid_mode) ?(jobs = 1) ?deadline ?metrics
+    ?(mode = Lp.Simplex.Hybrid_mode) ?(jobs = 1) ?deadline ?metrics ?seed
     ?(attr_fixings = []) inst =
-  let problem, attr_var = build_ip inst in
+  let problem, attr_var, point_of = build_ip inst in
   (* Attribute-level pins (Core.Flow verdicts) become x-variable pins;
      both IP forms name the hiding variables in [attr_var]. The fixings
      preserve the optimal value, so the strict greedy cutoff below
@@ -38,19 +38,40 @@ let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit)
       (fun (a, v) -> Option.map (fun i -> (i, v)) (List.assoc_opt a attr_var))
       attr_fixings
   in
-  let seed = seed_solution inst in
+  (* The cutoff seed: the cheaper of the greedy solution and the
+     caller's warm seed (a parent solution in the Core.Delta re-solve
+     path). An infeasible warm seed is dropped rather than trusted. *)
+  let warm =
+    match seed with
+    | Some s when Solution.is_feasible inst s -> Some s
+    | _ -> None
+  in
+  let seed =
+    match (seed_solution inst, warm) with
+    | Some g, Some w -> Some (if Solution.compare_cost g w <= 0 then g else w)
+    | (Some _ as g), None -> g
+    | None, w -> w
+  in
   let cutoff = Option.map (fun (s : Solution.t) -> s.Solution.cost) seed in
+  (* Only the caller's warm seed also enters as a full-space incumbent
+     (when a witnessing point exists): if it survives presolve
+     projection the search returns it (or something strictly better) as
+     a value-carrying result instead of relying on the
+     Infeasible-under-cutoff reading. The greedy seed stays cutoff-only
+     — building and constraint-checking its point would tax every plain
+     solve for a reading the Infeasible branch already provides. *)
+  let incumbent = Option.bind warm point_of in
   let solve_ilp =
     match mode with
     | Lp.Simplex.Exact_mode ->
-        Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
-          ~fixings
+        Lp.Ilp.Exact.solve_with_stats ~node_limit ?cutoff ?incumbent ~jobs
+          ?deadline ?metrics ~fixings
     | Lp.Simplex.Hybrid_mode ->
-        Lp.Ilp.Hybrid.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline
-          ?metrics ~fixings
+        Lp.Ilp.Hybrid.solve_with_stats ~node_limit ?cutoff ?incumbent ~jobs
+          ?deadline ?metrics ~fixings
     | Lp.Simplex.Float_mode ->
-        Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ~jobs ?deadline ?metrics
-          ~fixings
+        Lp.Ilp.Fast.solve_with_stats ~node_limit ?cutoff ?incumbent ~jobs
+          ?deadline ?metrics ~fixings
   in
   let finish ~proven values =
     let hidden =
@@ -78,8 +99,10 @@ let solve_with_stats ?(node_limit = Lp.Ilp.default_node_limit)
   in
   (outcome, stats)
 
-let solve ?node_limit ?mode ?jobs ?deadline ?metrics ?attr_fixings inst =
-  fst (solve_with_stats ?node_limit ?mode ?jobs ?deadline ?metrics ?attr_fixings inst)
+let solve ?node_limit ?mode ?jobs ?deadline ?metrics ?seed ?attr_fixings inst =
+  fst
+    (solve_with_stats ?node_limit ?mode ?jobs ?deadline ?metrics ?seed
+       ?attr_fixings inst)
 
 type refusal = Too_many_attrs of { attrs : int; limit : int }
 

@@ -24,6 +24,7 @@ val solve :
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
+  ?seed:Solution.t ->
   ?attr_fixings:(string * Rat.t) list ->
   Instance.t ->
   outcome option
@@ -40,6 +41,12 @@ val solve :
     expiry the best incumbent found so far (at worst the greedy seed) is
     returned with [proven_optimal = false].
 
+    [seed] offers an externally-known feasible solution (e.g. the
+    parent solution in [Core.Delta]'s incremental re-solve): the search
+    is seeded with the cheaper of it and the greedy solution, both as
+    the strict cutoff and — via the IP builders' witnessing points — as
+    a warm incumbent inside {!Lp.Ilp}. An infeasible [seed] is ignored.
+
     [attr_fixings] pins hiding variables by attribute name before the
     branch-and-bound runs ({!Flow.fixings} produces sound ones: the
     optimal cost is unchanged, so the greedy cutoff logic is
@@ -51,6 +58,7 @@ val solve_with_stats :
   ?jobs:int ->
   ?deadline:Svutil.Deadline.t ->
   ?metrics:Svutil.Metrics.t ->
+  ?seed:Solution.t ->
   ?attr_fixings:(string * Rat.t) list ->
   Instance.t ->
   outcome option * Lp.Ilp.stats

@@ -5,6 +5,7 @@ type built = {
   problem : Lp.Problem.snapshot;
   attr_var : (string * int) list;
   pub_var : (string * int) list;
+  point_of : Solution.t -> Rat.t array option;
 }
 
 let build (inst : Instance.t) =
@@ -38,8 +39,9 @@ let build (inst : Instance.t) =
       obj := L.add !obj (L.term (List.assoc pub.Instance.p_name pub_var) pub.Instance.p_cost))
     inst.Instance.publics;
   P.set_objective p !obj;
-  List.iter
-    (fun (m : Instance.module_req) ->
+  let mod_vars =
+    List.map
+      (fun (m : Instance.module_req) ->
       let options =
         match m.Instance.req with
         | Requirement.Sets l -> l
@@ -63,9 +65,42 @@ let build (inst : Instance.t) =
                 (L.of_list [ (xv b, Rat.one); (rj, Rat.minus_one) ])
                 P.Ge Rat.zero)
             (ins @ outs))
-        options)
-    inst.Instance.mods;
-  { problem = P.snapshot p; attr_var; pub_var }
+        options;
+      (options, r_vars))
+      inst.Instance.mods
+  in
+  let problem = P.snapshot p in
+  (* Full-space witness of a solution for warm incumbent injection:
+     indicators for hidden attributes / exposed publics, and per module
+     the first option fully covered by the hidden set. [None] when some
+     module has no covered option (the solution is infeasible). *)
+  let point_of (s : Solution.t) =
+    let hidden = s.Solution.hidden in
+    let is_hidden a = List.mem a hidden in
+    let v = Array.make problem.P.n Rat.zero in
+    List.iter (fun (a, i) -> if is_hidden a then v.(i) <- Rat.one) attr_var;
+    List.iter
+      (fun (pub : Instance.public_mod) ->
+        if List.exists is_hidden pub.Instance.p_attrs then
+          v.(List.assoc pub.Instance.p_name pub_var) <- Rat.one)
+      inst.Instance.publics;
+    try
+      List.iter
+        (fun (options, r_vars) ->
+          let j =
+            let rec find j = function
+              | [] -> raise Exit
+              | (ins, outs) :: _ when List.for_all is_hidden (ins @ outs) -> j
+              | _ :: rest -> find (j + 1) rest
+            in
+            find 0 options
+          in
+          v.(List.nth r_vars j) <- Rat.one)
+        mod_vars;
+      Some v
+    with Exit -> None
+  in
+  { problem; attr_var; pub_var; point_of }
 
 let lp_relaxation ?(mode = Lp.Simplex.Hybrid_mode) ?deadline ?metrics inst =
   let { problem; attr_var; _ } = build inst in

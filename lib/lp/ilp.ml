@@ -84,9 +84,9 @@ module Make (Solver : Simplex.SOLVER) = struct
     let c = Rat.compare a.bound b.bound in
     if c <> 0 then c else compare b.seq a.seq (* newest first among ties *)
 
-  let solve_with_stats ?(node_limit = default_node_limit) ?cutoff ?(jobs = 1)
-      ?(deadline = Svutil.Deadline.none) ?(metrics = Svutil.Metrics.nop)
-      ?(fixings = []) (s : Problem.snapshot) =
+  let solve_with_stats ?(node_limit = default_node_limit) ?cutoff ?incumbent
+      ?(jobs = 1) ?(deadline = Svutil.Deadline.none)
+      ?(metrics = Svutil.Metrics.nop) ?(fixings = []) (s : Problem.snapshot) =
     let finished ?root_bound ?(deadline_hit = false) nodes limit_hit =
       (* Single source of truth: the same [nodes] count feeds both the
          stats record and the registry, so the two can never drift. *)
@@ -119,7 +119,7 @@ module Make (Solver : Simplex.SOLVER) = struct
           let finished = finished ~root_bound:objective in
           if ok then (Optimal { objective; values }, finished 0 false)
           else (Infeasible, finished 0 false)
-      | Presolve.Reduced { problem = p; restore } ->
+      | Presolve.Reduced { problem = p; restore; keep } ->
         let jobs = max 1 jobs in
         Svutil.Metrics.count metrics "ilp.presolve_fixed" (s.Problem.n - p.Problem.n);
         (* The cutoff lives in the original objective space; fixed
@@ -178,6 +178,31 @@ module Make (Solver : Simplex.SOLVER) = struct
               candidate (fun v -> Rat.of_bigint (Rat.ceil v));
             ]
         in
+        (* Warm incumbent: a caller-supplied candidate point in the
+           original variable space (typically the solution of a nearby
+           problem, via [Core.Delta] or the greedy seed). It is
+           projected through [keep] — coordinates presolve fixed are
+           simply overridden, so a point that disagrees with a fixing
+           still stands in for the feasible [restore]d point it projects
+           to — and admitted only when exactly feasible for the reduced
+           problem. Unlike [offer]'s strict domination test it may sit
+           exactly at the cutoff: it then becomes the incumbent the
+           search must strictly beat, so a completed run returns it as
+           [Optimal] instead of [Infeasible]. *)
+        (match incumbent with
+        | None -> ()
+        | Some inc ->
+            let proj = Array.map (fun i -> inc.(i)) keep in
+            if feasible_point p proj then begin
+              let obj = Linexpr.eval p.Problem.objective (fun v -> proj.(v)) in
+              let ok =
+                match cutoff with Some c -> Rat.leq obj c | None -> true
+              in
+              if ok then begin
+                Svutil.Metrics.tick metrics "ilp.warm_incumbents";
+                best := Some (obj, proj)
+              end
+            end);
         (* One lazily-created warm solver state per worker slot; a slot
            is used by at most one domain per round, and rounds are
            separated by joins. Each slot also gets its own metrics
@@ -330,8 +355,10 @@ module Make (Solver : Simplex.SOLVER) = struct
           | None, true -> (Unknown, stats)
           | None, false -> (Infeasible, stats))
 
-  let solve ?node_limit ?cutoff ?jobs ?deadline ?metrics ?fixings s =
-    fst (solve_with_stats ?node_limit ?cutoff ?jobs ?deadline ?metrics ?fixings s)
+  let solve ?node_limit ?cutoff ?incumbent ?jobs ?deadline ?metrics ?fixings s =
+    fst
+      (solve_with_stats ?node_limit ?cutoff ?incumbent ?jobs ?deadline ?metrics
+         ?fixings s)
 
   (* The pre-overhaul recursive depth-first solver, verbatim: cold LP
      solve per node, fixed 1e-6 snapping tolerance. Kept as the oracle

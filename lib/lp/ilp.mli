@@ -44,6 +44,7 @@ module Make (_ : Simplex.SOLVER) : sig
   val solve :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
@@ -75,11 +76,22 @@ module Make (_ : Simplex.SOLVER) : sig
       [fixings] pins variables to values before presolve
       ({!Presolve.apply_fixings}): the caller vouches that each pin
       preserves the optimal objective (e.g. [Core.Flow]'s static
-      must-hide / may-expose verdicts). Counts [ilp.static_fixed]. *)
+      must-hide / may-expose verdicts). Counts [ilp.static_fixed].
+
+      [incumbent] offers a candidate point in the {e original} variable
+      space (typically the solution of a nearby problem — the warm-start
+      surface [Core.Delta] re-solves through). It is projected through
+      {!Presolve.reduced.keep} and installed as the initial incumbent
+      when exactly feasible for the reduced problem and within [cutoff]
+      (non-strictly: an incumbent at the cutoff makes a completed search
+      return it as [Optimal] rather than [Infeasible]). An infeasible or
+      dominated offer is silently ignored — correctness never depends on
+      it. Ticks [ilp.warm_incumbents] when installed. *)
 
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
@@ -97,6 +109,7 @@ module Exact : sig
   val solve :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
@@ -107,6 +120,7 @@ module Exact : sig
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
@@ -121,6 +135,7 @@ module Fast : sig
   val solve :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
@@ -131,6 +146,7 @@ module Fast : sig
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
@@ -147,6 +163,7 @@ module Hybrid : sig
   val solve :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->
@@ -157,6 +174,7 @@ module Hybrid : sig
   val solve_with_stats :
     ?node_limit:int ->
     ?cutoff:Rat.t ->
+    ?incumbent:Rat.t array ->
     ?jobs:int ->
     ?deadline:Svutil.Deadline.t ->
     ?metrics:Svutil.Metrics.t ->

@@ -5,6 +5,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type reduced = {
   problem : Problem.snapshot;
   restore : Rat.t array -> Rat.t array;
+  keep : int array;
 }
 
 type outcome =
@@ -204,10 +205,17 @@ let run (s : Problem.snapshot) =
           Array.init n (fun i ->
               if var_map.(i) >= 0 then values.(var_map.(i)) else fixed_val.(i))
         in
+        (* Forward map: reduced index -> original index. [add_var]
+           assigns indices in scan order, so collecting the surviving
+           originals in order inverts [var_map]. *)
+        let keep = Array.make (n - !n_fixed) (-1) in
+        for i = 0 to n - 1 do
+          if var_map.(i) >= 0 then keep.(var_map.(i)) <- i
+        done;
         Log.debug (fun f ->
             f "reduced %d vars x %d rows -> %d vars x %d rows" n
               (Array.length s.constraints) (n - !n_fixed) (List.length !rows));
-        Reduced { problem = Problem.snapshot t; restore }
+        Reduced { problem = Problem.snapshot t; restore; keep }
       end
 
 (* External variable fixings (e.g. Core.Flow's static must-hide /
@@ -243,7 +251,7 @@ let solve_lp ?deadline ?metrics (module S : Simplex.SOLVER) (s : Problem.snapsho
   | Solved { values } ->
       let objective = Linexpr.eval s.objective (fun v -> values.(v)) in
       Simplex.Optimal { objective; values }
-  | Reduced { problem; restore } -> (
+  | Reduced { problem; restore; _ } -> (
       match S.solve ?deadline ?metrics problem with
       | Simplex.Infeasible -> Simplex.Infeasible
       | Simplex.Unbounded -> Simplex.Unbounded

@@ -22,6 +22,12 @@ type reduced = {
   restore : Rat.t array -> Rat.t array;
       (** maps a solution of [problem] back to the full variable space,
           filling in the values of fixed variables *)
+  keep : int array;
+      (** the forward map [restore] inverts: [keep.(j)] is the original
+          index of reduced variable [j]. Callers holding a candidate
+          point in the original space (e.g. a warm incumbent from a
+          previous solve) project it onto the reduced problem with
+          [Array.map (fun i -> point.(i)) keep]. *)
 }
 
 type outcome =

@@ -256,6 +256,58 @@ let test_batch_no_metrics_by_default () =
   let result = member "batch line" "result" doc in
   Alcotest.(check bool) "no metrics key" false (has_key "metrics" result)
 
+(* ------------------------------------------------------------------ *)
+(* delta --json --verify --metrics json                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_delta_metrics () =
+  let ok, out =
+    run_cli
+      [
+        "delta"; example "fig1.swf"; "--edits"; example "deltas/fig1_cost.delta";
+        "--json"; "--verify"; "--metrics"; "json";
+      ]
+  in
+  Alcotest.(check bool) "exit 0" true ok;
+  let doc = parse_ok "delta output" out in
+  List.iter
+    (fun k -> ignore (member "delta output" k doc))
+    [ "parent"; "delta"; "reuse"; "touched"; "dirty" ];
+  (match member "delta output" "verified" doc with
+  | Bool true -> ()
+  | _ -> Alcotest.fail "--verify must report verified:true");
+  let d = member "delta output" "delta" doc in
+  let metrics = member "delta result" "metrics" d in
+  let counters = member "delta metrics" "counters" metrics in
+  let spans = member "delta metrics" "spans" metrics in
+  Alcotest.(check bool) "delta span recorded" true (has_key "delta" spans);
+  Alcotest.(check bool) "subsolve span recorded" true
+    (has_key "delta/subsolve" spans);
+  match member "counters" "delta.dirty_attrs" counters with
+  | Num n -> Alcotest.(check bool) "dirty attrs counted" true (n > 0.)
+  | _ -> Alcotest.fail "delta.dirty_attrs must be a number"
+
+let test_delta_noop () =
+  let ok, out =
+    run_cli
+      [
+        "delta"; example "fig1.swf"; "--edits"; example "deltas/fig1_noop.delta";
+        "--json"; "--verify"; "--metrics"; "json";
+      ]
+  in
+  Alcotest.(check bool) "exit 0" true ok;
+  let doc = parse_ok "delta output" out in
+  (match member "delta output" "reuse" doc with
+  | Str "noop" -> ()
+  | _ -> Alcotest.fail "identity edit must take the noop tier");
+  let counters =
+    member "delta metrics" "counters"
+      (member "delta result" "metrics" (member "delta output" "delta" doc))
+  in
+  match member "counters" "delta.noop" counters with
+  | Num 1. -> ()
+  | _ -> Alcotest.fail "delta.noop must be 1"
+
 let () =
   Alcotest.run "cli"
     [
@@ -272,5 +324,11 @@ let () =
           Alcotest.test_case "--metrics json" `Quick test_batch_metrics;
           Alcotest.test_case "metrics off by default" `Quick
             test_batch_no_metrics_by_default;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "--json --verify --metrics" `Quick
+            test_delta_metrics;
+          Alcotest.test_case "noop detection" `Quick test_delta_noop;
         ] );
     ]
