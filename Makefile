@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-smoke-json bench-json bench-compare lint-examples flow-examples batch-examples delta-examples clean
+.PHONY: build test bench bench-smoke bench-smoke-json bench-json bench-compare lint-examples flow-examples batch-examples delta-examples serve-examples clean
 
 # Output path for bench-json; override to record a new baseline, e.g.
 #   make bench-json OUT=BENCH_PR2.json
@@ -10,8 +10,8 @@ SMOKE_OUT ?= BENCH_SMOKE.json
 # Baselines for bench-compare, e.g.
 #   make bench-compare BASE=BENCH_PR1.json NEW=BENCH_PR3.json
 # Exits nonzero when any kernel regressed by more than 10%.
-BASE ?= BENCH_PR7.json
-NEW ?= BENCH_PR8.json
+BASE ?= BENCH_PR8.json
+NEW ?= BENCH_PR9.json
 
 # Optional kernel filter (Str regexp) for bench-json, e.g.
 #   make bench-json FILTER=simplex
@@ -97,6 +97,28 @@ delta-examples:
 	    || { echo "FAIL: $$spec + $$d"; exit 1; }; \
 	  echo "ok: $$spec + $$d"; \
 	done
+
+# Scripted JSON-lines session through the serve daemon, with cache hits
+# differentially verified (--verify-hits re-solves every hit from
+# scratch and fails the request on optimum drift). Asserts the expected
+# hit/miss counts — including a hit on a bijectively renamed inline
+# resubmission — and that two fresh runs produce byte-identical output.
+serve-examples:
+	dune build bin/secure_view_cli.exe
+	@./_build/default/bin/secure_view_cli.exe serve --verify-hits \
+	  < examples/serve/session.jsonl 2>/dev/null > /tmp/serve_run1.out
+	@./_build/default/bin/secure_view_cli.exe serve --verify-hits \
+	  < examples/serve/session.jsonl 2>/dev/null > /tmp/serve_run2.out
+	@cmp /tmp/serve_run1.out /tmp/serve_run2.out \
+	  || { echo "FAIL: serve responses differ between runs"; exit 1; }
+	@grep -q '"id":"fig1-renamed","ok":true,"cache":"hit"' /tmp/serve_run1.out \
+	  || { echo "FAIL: renamed resubmission did not hit the cache"; \
+	       cat /tmp/serve_run1.out; exit 1; }
+	@grep -q '"hits":3,"misses":2' /tmp/serve_run1.out \
+	  || { echo "FAIL: unexpected hit/miss counts"; cat /tmp/serve_run1.out; exit 1; }
+	@grep -c '"ok":true' /tmp/serve_run1.out | grep -qx 10 \
+	  || { echo "FAIL: expected 10 ok responses"; cat /tmp/serve_run1.out; exit 1; }
+	@echo "ok: serve session (byte-identical runs, 3 hits / 2 misses, hits verified)"
 
 clean:
 	dune clean

@@ -293,6 +293,77 @@ let timing_tests ~lp_mode () =
   ]
   @ delta_twins "e21" card_union e21_edit
   @ delta_twins "e22" sets_union e22_edit
+  @
+  (* Serve-cache twins: the same 12-block union request cold-missed
+     (canonicalize + solve + store, fresh cache each run) versus
+     warm-hit under a bijective renaming (canonicalize + form check +
+     isomorphism transport + re-closure verify, no solve). The warm
+     cache is populated outside the timed region. *)
+  let rename_instance suffix inst =
+    let r a = a ^ suffix in
+    Core.Instance.make
+      ~attr_costs:
+        (List.map (fun (a, c) -> (r a, c)) inst.Core.Instance.attr_costs)
+      ~mods:
+        (List.map
+           (fun (m : Core.Instance.module_req) ->
+             {
+               Core.Instance.m_name = m.Core.Instance.m_name ^ suffix;
+               inputs = List.map r m.Core.Instance.inputs;
+               outputs = List.map r m.Core.Instance.outputs;
+               req =
+                 (match m.Core.Instance.req with
+                 | Core.Requirement.Card _ as c -> c
+                 | Core.Requirement.Sets l ->
+                     Core.Requirement.Sets
+                       (List.map
+                          (fun (i, o) -> (List.map r i, List.map r o))
+                          l));
+             })
+           inst.Core.Instance.mods)
+      ~publics:
+        (List.map
+           (fun (p : Core.Instance.public_mod) ->
+             {
+               Core.Instance.p_name = p.Core.Instance.p_name ^ suffix;
+               p_cost = p.Core.Instance.p_cost;
+               p_attrs = List.map r p.Core.Instance.p_attrs;
+             })
+           inst.Core.Instance.publics)
+      ()
+  in
+  let union_request ?(metrics = Svutil.Metrics.nop) inst =
+    {
+      (Core.Engine.default_request inst) with
+      Core.Engine.lp_mode;
+      Core.Engine.metrics;
+    }
+  in
+  let warm_cache = Serve.Cache.create ~capacity:8 () in
+  let warm_result =
+    Core.Engine.run_cached (Serve.Cache.engine_cache warm_cache)
+      (union_request card_union)
+  in
+  (match warm_result.Core.Engine.solution with
+  | Some _ -> ()
+  | None -> failwith "e24: warm solve of the card union came back infeasible");
+  let card_union_renamed = rename_instance "_r" card_union in
+  [
+    stage_m "e23_serve_cold_miss" (fun m ->
+        let cache = Serve.Cache.create ~metrics:m ~capacity:8 () in
+        ignore
+          (Core.Engine.run_cached
+             (Serve.Cache.engine_cache cache)
+             (union_request ~metrics:m card_union)));
+    stage_m "e24_serve_warm_hit" (fun m ->
+        let r =
+          Core.Engine.run_cached
+            (Serve.Cache.engine_cache warm_cache)
+            (union_request ~metrics:m card_union_renamed)
+        in
+        if List.assoc_opt "cache" r.Core.Engine.stats <> Some "hit" then
+          failwith "e24: renamed union request missed the warm cache");
+  ]
 
 (* Flat { "test": ns_per_run } object; hand-rolled since the estimates
    are plain floats and names are ASCII identifiers. When instrumented

@@ -19,32 +19,26 @@ module Wfcheck = Analysis.Wfcheck
 
 (* [analyze]/[solve]/[check] pre-flight the spec so infeasible or
    malformed inputs fail fast with a coded diagnostic instead of dying
-   somewhere inside the exponential searches. *)
+   somewhere inside the exponential searches. Loading, diagnostics and
+   the exit-code mapping (2 = malformed input, 1 = well-formed input
+   failing its checks) live in Serve.Request, shared with the daemon. *)
+let fail_with (e : Serve.Request.error) =
+  (match e with
+  | Serve.Request.Static_errors _ -> prerr_endline (Serve.Request.text e)
+  | _ -> Printf.eprintf "error: %s\n" (Serve.Request.text e));
+  exit (Serve.Request.exit_code e)
+
 let load ?(preflight = false) path =
-  match Wf.Parse.parse_file path with
-  | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      exit 1
-  | Ok spec ->
-      if preflight then begin
-        match Wfcheck.errors (Wfcheck.check_spec spec) with
-        | [] -> ()
-        | errs ->
-            prerr_endline (Wfcheck.to_text ~file:path errs);
-            Printf.eprintf "error: %s fails %d static check%s (secure_view_cli lint %s)\n"
-              path (List.length errs)
-              (if List.length errs = 1 then "" else "s")
-              path;
-            exit 1
-      end;
-      spec
+  match Serve.Request.spec_of_file ~preflight path with
+  | Ok spec -> spec
+  | Error e -> fail_with e
 
 let gamma_of (spec : Wf.Parse.spec) name =
   Option.value ~default:spec.Wf.Parse.gamma
     (List.assoc_opt name spec.Wf.Parse.gamma_overrides)
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Workflow description file.")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Workflow description file.")
 
 (* show ---------------------------------------------------------------- *)
 
@@ -75,7 +69,7 @@ let lint_cmd =
     Arg.(value & flag & info [ "codes" ] ~doc:"Print the diagnostic code reference and exit.")
   in
   let file_opt =
-    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Workflow description file.")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Workflow description file.")
   in
   let run file json strict codes =
     if codes then begin
@@ -128,8 +122,7 @@ let analyze_cmd =
     let spec = load ~preflight:true file in
     match Wf.Workflow.find_module spec.Wf.Parse.workflow name with
     | None ->
-        Printf.eprintf "error: no module %s\n" name;
-        exit 1
+        fail_with (Serve.Request.Unknown_name (Printf.sprintf "no module %s" name))
     | Some m ->
         let gamma = gamma_of spec name in
         Printf.printf "standalone analysis of %s for Gamma = %d\n" name gamma;
@@ -151,18 +144,10 @@ let analyze_cmd =
 
 (* solve ----------------------------------------------------------------- *)
 
-(* Method selection is shared between [solve] and [batch]. The CLI names
-   keep their historical spellings: [lp] is the set-LP threshold
-   rounding, [alg1] the cardinality-LP randomized rounding. *)
-let concrete_methods =
-  [
-    ("auto", Core.Engine.Auto);
-    ("greedy", Core.Engine.Greedy);
-    ("lp", Core.Engine.Round_set);
-    ("alg1", Core.Engine.Round_card);
-    ("exact", Core.Engine.Exact);
-    ("brute", Core.Engine.Brute);
-  ]
+(* Method selection is shared between [solve], [batch] and the daemon
+   protocol; the spellings live in Serve.Request ([lp] is the set-LP
+   threshold rounding, [alg1] the cardinality-LP randomized rounding). *)
+let concrete_methods = Serve.Request.method_names
 
 let method_doc =
   "Solver: $(b,auto) (portfolio), $(b,greedy), $(b,lp) (set-LP threshold \
@@ -202,12 +187,7 @@ let trials_arg =
        & info [ "trials" ] ~docv:"N"
            ~doc:"Randomized rounding trials (alg1); the cheapest wins.")
 
-let instance_of spec =
-  let w = spec.Wf.Parse.workflow in
-  let cost a = List.assoc a spec.Wf.Parse.costs in
-  Core.Instance.of_workflow w ~gamma:spec.Wf.Parse.gamma
-    ~gamma_overrides:spec.Wf.Parse.gamma_overrides ~cost
-    ~publics:spec.Wf.Parse.publics ()
+let instance_of = Serve.Request.instance_of
 
 let emit_view_arg =
   Arg.(value & flag & info [ "emit-view" ]
@@ -262,62 +242,12 @@ let metrics_of = function
   | `None -> Svutil.Metrics.nop
   | `Json -> Svutil.Metrics.create ()
 
-(* Minimal JSON emission; attribute and module names are identifiers. *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_str s = "\"" ^ json_escape s ^ "\""
-let json_list items = "[" ^ String.concat "," (List.map json_str items) ^ "]"
-
-let json_solution (s : Core.Solution.t) =
-  Printf.sprintf {|{"cost":%s,"hidden":%s,"privatized":%s}|}
-    (json_str (Rat.to_string s.Core.Solution.cost))
-    (json_list s.Core.Solution.hidden)
-    (json_list s.Core.Solution.privatized)
-
-let json_assoc kvs =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) kvs) ^ "}"
-
-let json_engine_result (r : Core.Engine.result) =
-  json_assoc
-    ([
-       ("method", json_str (Core.Engine.meth_to_string r.Core.Engine.method_used));
-       ( "solution",
-         match r.Core.Engine.solution with
-         | Some s -> json_solution s
-         | None -> "null" );
-       ("proven_optimal", string_of_bool r.Core.Engine.proven_optimal);
-     ]
-    @ (match r.Core.Engine.lower_bound with
-      | Some b -> [ ("lower_bound", json_str (Rat.to_string b)) ]
-      | None -> [])
-    @ (match r.Core.Engine.ratio with
-      | Some x -> [ ("ratio", Printf.sprintf "%.6g" x) ]
-      | None -> [])
-    @ [
-        ( "timings_ms",
-          json_assoc
-            (List.map
-               (fun (k, v) -> (k, Printf.sprintf "%.3f" v))
-               r.Core.Engine.timings) );
-        ( "stats",
-          json_assoc (List.map (fun (k, v) -> (k, json_str v)) r.Core.Engine.stats)
-        );
-      ]
-    (* Live registries (--metrics json) ride along; the nop default adds
-       nothing to the output. *)
-    @ (if Svutil.Metrics.enabled r.Core.Engine.metrics then
-         [ ("metrics", Svutil.Metrics.to_json r.Core.Engine.metrics) ]
-       else []))
+(* JSON emission is shared with the daemon in Serve.Response; these
+   aliases keep the subcommand bodies readable. *)
+let json_str = Serve.Response.str
+let json_list = Serve.Response.list
+let json_assoc = Serve.Response.assoc
+let json_engine_result = Serve.Response.engine_result ~timings:true
 
 let stat_true (r : Core.Engine.result) key =
   List.assoc_opt key r.Core.Engine.stats = Some "true"
@@ -331,18 +261,17 @@ let no_static_fixing_arg =
 
 let request_of inst ~meth ~node_limit ~lp_mode ~jobs ~seed ~deadline_ms ~trials
     ~metrics ~static_fixing =
-  {
-    (Core.Engine.default_request inst) with
-    Core.Engine.meth;
-    node_limit;
-    lp_mode;
-    jobs;
-    seed;
-    deadline_ms;
-    trials;
-    metrics;
-    static_fixing;
-  }
+  Serve.Request.engine_request ~metrics inst
+    {
+      Serve.Request.meth;
+      node_limit;
+      lp_mode;
+      jobs;
+      seed;
+      deadline_ms;
+      trials;
+      static_fixing;
+    }
 
 let solve_cmd =
   let run file meth emit_view node_limit lp_mode jobs json seed deadline
@@ -424,7 +353,7 @@ let solve_cmd =
 
 let batch_cmd =
   let files_arg =
-    Arg.(non_empty & pos_all file []
+    Arg.(non_empty & pos_all string []
          & info [] ~docv:"FILES" ~doc:"Workflow description files.")
   in
   let run files (_, meth) node_limit lp_mode jobs seed deadline trials
@@ -439,7 +368,8 @@ let batch_cmd =
         | Error e ->
             ( Printf.sprintf {|{"file":%s,"ok":false,"error":%s}|}
                 (json_str file) (json_str e),
-              false )
+              false,
+              Svutil.Metrics.nop )
         | Ok spec -> (
             match Wfcheck.errors (Wfcheck.check_spec spec) with
             | _ :: _ as errs ->
@@ -448,7 +378,8 @@ let batch_cmd =
                     (json_str
                        (Printf.sprintf "fails %d static check(s)"
                           (List.length errs))),
-                  false )
+                  false,
+                  Svutil.Metrics.nop )
             | [] ->
                 let inst = instance_of spec in
                 (* Fresh registry per file: parallel batch workers never
@@ -462,17 +393,29 @@ let batch_cmd =
                 let r = Core.Engine.run req in
                 ( Printf.sprintf {|{"file":%s,"ok":true,"result":%s}|}
                     (json_str file) (json_engine_result r),
-                  true ))
+                  true,
+                  r.Core.Engine.metrics ))
       with e ->
         ( Printf.sprintf {|{"file":%s,"ok":false,"error":%s}|} (json_str file)
             (json_str (Printexc.to_string e)),
-          false )
+          false,
+          Svutil.Metrics.nop )
     in
     let lines =
       Svutil.Par.map ~jobs solve_file (List.mapi (fun i f -> (i, f)) files)
     in
-    List.iter (fun (line, _) -> print_endline line) lines;
-    exit (if List.for_all snd lines then 0 else 1)
+    List.iter (fun (line, _, _) -> print_endline line) lines;
+    (* Run-level summary: the per-file registries merge into one
+       aggregate footer line (merging is associative and commutative,
+       so the footer is --jobs-independent like the rest). *)
+    let merged =
+      List.fold_left
+        (fun acc (_, _, m) -> Svutil.Metrics.merge acc m)
+        Svutil.Metrics.nop lines
+    in
+    if Svutil.Metrics.enabled merged then
+      print_endline (json_assoc [ ("metrics", Svutil.Metrics.to_json merged) ]);
+    exit (if List.for_all (fun (_, ok, _) -> ok) lines then 0 else 1)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -548,7 +491,7 @@ let flow_cmd =
 
 let delta_cmd =
   let edits_arg =
-    Arg.(required & opt (some file) None
+    Arg.(required & opt (some string) None
          & info [ "edits" ] ~docv:"SCRIPT"
              ~doc:"Edit script to apply (see Core.Delta.parse_script: one \
                    edit per line — attr/cost/req/rewire/add/drop).")
@@ -585,7 +528,10 @@ let delta_cmd =
     let spec = load ~preflight:true file in
     let inst = instance_of spec in
     let script =
-      match Core.Delta.parse_script (read_file edits) with
+      match
+        try Core.Delta.parse_script (read_file edits)
+        with Sys_error m -> Error m
+      with
       | Ok s -> s
       | Error e ->
           Printf.eprintf "error: %s: %s\n" edits e;
@@ -695,6 +641,76 @@ let delta_cmd =
     Term.(const run $ file_arg $ edits_arg $ node_limit_arg $ lp_mode_arg
           $ jobs_arg $ json_arg $ verify_arg $ metrics_arg)
 
+(* serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve a Unix-domain socket at $(docv) (one connection at a \
+                   time) instead of stdin/stdout.")
+  in
+  let cache_size_arg =
+    Arg.(value & opt int 128
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"Capacity of the canonical-form solution cache (LRU \
+                   entries).")
+  in
+  let serve_jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Total solver-parallelism slot pool. A request's own jobs \
+                   field is clamped to what the pool has available; it is \
+                   never refused outright.")
+  in
+  let verify_hits_arg =
+    Arg.(value & flag
+         & info [ "verify-hits" ]
+             ~doc:"Differentially verify every cache hit by re-solving from \
+                   scratch; a request whose cached optimum drifts fails with \
+                   an internal error. Costs the solve the cache saved — for \
+                   tests and CI gates.")
+  in
+  let run socket cache_size jobs verify_hits node_limit lp_mode deadline
+      trials seed no_static_fixing =
+    if cache_size < 1 then
+      fail_with (Serve.Request.Usage "cache-size must be at least 1");
+    if jobs < 1 then fail_with (Serve.Request.Usage "jobs must be at least 1");
+    let cfg =
+      {
+        Serve.Daemon.cache_capacity = cache_size;
+        jobs;
+        defaults =
+          {
+            Serve.Request.default_options with
+            Serve.Request.node_limit;
+            lp_mode;
+            deadline_ms = deadline;
+            trials;
+            seed;
+            static_fixing = not no_static_fixing;
+          };
+        verify_hits;
+        preflight = true;
+        metrics = Svutil.Metrics.create ();
+      }
+    in
+    match socket with
+    | None -> Serve.Daemon.run_stdio cfg
+    | Some path -> Serve.Daemon.run_socket cfg path
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived JSON-lines request loop in front of the engine, with \
+             a canonical-form solution cache: renamed resubmissions of a \
+             solved workflow are served by isomorphism transport instead of \
+             a fresh solve. One request object per line on stdin (or a Unix \
+             socket with --socket); ops: solve, ping, stats, shutdown. \
+             SIGUSR1 dumps stats and metrics to stderr.")
+    Term.(const run $ socket_arg $ cache_size_arg $ serve_jobs_arg
+          $ verify_hits_arg $ node_limit_arg $ lp_mode_arg $ deadline_arg
+          $ trials_arg $ seed_arg $ no_static_fixing_arg)
+
 (* tradeoff ----------------------------------------------------------- *)
 
 let tradeoff_cmd =
@@ -705,8 +721,7 @@ let tradeoff_cmd =
     let spec = load file in
     match Wf.Workflow.find_module spec.Wf.Parse.workflow name with
     | None ->
-        Printf.eprintf "error: no module %s\n" name;
-        exit 1
+        fail_with (Serve.Request.Unknown_name (Printf.sprintf "no module %s" name))
     | Some m ->
         let cost a = List.assoc a spec.Wf.Parse.costs in
         let max_budget =
@@ -755,5 +770,6 @@ let () =
             check_cmd;
             flow_cmd;
             delta_cmd;
+            serve_cmd;
             tradeoff_cmd;
           ]))

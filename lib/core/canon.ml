@@ -113,8 +113,27 @@ let digest inst =
   in
   md5 (String.concat "," (List.sort compare cols))
 
-let form inst =
-  let ac, _mcol, _pcol = refine inst in
+(* The canonical relabeling behind [form], kept around as a first-class
+   value so solutions can be transported across the isomorphism that
+   equal forms exhibit (the serve cache's hit path). *)
+type labeling = {
+  lab_digest : string;
+  lab_form : string;
+  to_canon : (string, string) Hashtbl.t;  (* attribute -> canonical aN *)
+  of_canon : (string, string) Hashtbl.t;  (* canonical aN -> attribute *)
+  pub_slots : string array;  (* canonical slot -> public module name *)
+  pub_slot_of : (string, int) Hashtbl.t;  (* public module name -> slot *)
+}
+
+let labeling inst =
+  let ac, mcol, pcol = refine inst in
+  let lab_digest =
+    let cols =
+      List.map ac (Instance.attrs inst)
+      @ Array.to_list mcol @ Array.to_list pcol
+    in
+    md5 (String.concat "," (List.sort compare cols))
+  in
   (* Relabel attributes by (stable color, original name): the tie-break
      keeps the output deterministic; soundness of [form] equality does
      not depend on it (any relabeling exhibits the isomorphism). Module
@@ -125,9 +144,15 @@ let form inst =
       (fun a b -> compare (ac a, a) (ac b, b))
       (Instance.attrs inst)
   in
-  let canon = Hashtbl.create 16 in
-  List.iteri (fun i a -> Hashtbl.replace canon a (Printf.sprintf "a%d" i)) order;
-  let cn a = Hashtbl.find canon a in
+  let to_canon = Hashtbl.create 16 in
+  let of_canon = Hashtbl.create 16 in
+  List.iteri
+    (fun i a ->
+      let c = Printf.sprintf "a%d" i in
+      Hashtbl.replace to_canon a c;
+      Hashtbl.replace of_canon c a)
+    order;
+  let cn a = Hashtbl.find to_canon a in
   let cns l = List.sort compare (List.map cn l) in
   let b = Buffer.create 256 in
   List.iter
@@ -157,17 +182,54 @@ let form inst =
          inst.Instance.mods)
   in
   List.iter (Buffer.add_string b) mods;
-  let pubs =
+  (* Public lines are sorted by their canonical serialization; the name
+     tie-break only orders publics whose lines are identical, and such
+     publics (same cost, same canonical attribute set) are
+     interchangeable, so slot-to-slot matching between equal forms is an
+     isomorphism whatever the tie order. *)
+  let pub_lines =
     List.sort compare
       (List.map
          (fun (p : Instance.public_mod) ->
-           Printf.sprintf "pub %s [%s]\n"
-             (Rat.to_string p.Instance.p_cost)
-             (String.concat "," (cns p.Instance.p_attrs)))
+           ( Printf.sprintf "pub %s [%s]\n"
+               (Rat.to_string p.Instance.p_cost)
+               (String.concat "," (cns p.Instance.p_attrs)),
+             p.Instance.p_name ))
          inst.Instance.publics)
   in
-  List.iter (Buffer.add_string b) pubs;
-  Buffer.contents b
+  List.iter (fun (line, _) -> Buffer.add_string b line) pub_lines;
+  let pub_slots = Array.of_list (List.map snd pub_lines) in
+  let pub_slot_of = Hashtbl.create 8 in
+  Array.iteri (fun i name -> Hashtbl.replace pub_slot_of name i) pub_slots;
+  { lab_digest; lab_form = Buffer.contents b; to_canon; of_canon;
+    pub_slots; pub_slot_of }
+
+let form_of_labeling l = l.lab_form
+let digest_of_labeling l = l.lab_digest
+let form inst = (labeling inst).lab_form
+
+let transport ~src ~dst (s : Solution.t) =
+  if not (String.equal src.lab_form dst.lab_form) then None
+  else
+    let attr a =
+      Option.bind (Hashtbl.find_opt src.to_canon a)
+        (Hashtbl.find_opt dst.of_canon)
+    in
+    let pub p =
+      Option.bind (Hashtbl.find_opt src.pub_slot_of p) (fun i ->
+          if i < Array.length dst.pub_slots then Some dst.pub_slots.(i)
+          else None)
+    in
+    let all f l =
+      let mapped = List.filter_map f l in
+      if List.length mapped = List.length l then Some mapped else None
+    in
+    match (all attr s.Solution.hidden, all pub s.Solution.privatized) with
+    | Some hidden, Some privatized ->
+        (* Cost is preserved by the isomorphism; callers re-verify with
+           a [Solution.of_hidden] re-closure anyway. *)
+        Some { Solution.hidden; privatized; cost = s.Solution.cost }
+    | _ -> None
 
 let equal a b = String.equal (form a) (form b)
 

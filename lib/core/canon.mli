@@ -35,6 +35,41 @@ val form : Instance.t -> string
 val equal : Instance.t -> Instance.t -> bool
 (** [form] equality: a sound isomorphism check. *)
 
+(** {1 Solution transport}
+
+    When two instances have equal forms, the canonical relabeling of
+    each exhibits an explicit isomorphism between them; composing one
+    relabeling with the inverse of the other carries a solution of one
+    instance to a solution of the other with identical cost. The serve
+    cache stores a solved representative's {!labeling} and transports
+    its solution to each later isomorphic request. *)
+
+type labeling
+(** The canonical relabeling of one instance: its {!form} plus the
+    attribute bijection (name {%html:&harr;%} canonical label) and the
+    canonical ordering of its public modules. *)
+
+val labeling : Instance.t -> labeling
+
+val form_of_labeling : labeling -> string
+(** The {!form} the labeling serializes to — same string as
+    [form inst], with the refinement paid only once. *)
+
+val digest_of_labeling : labeling -> string
+(** The {!digest} of the labeled instance — same string as
+    [digest inst], computed from the same refinement pass, so a cache
+    can key on the digest and compare forms with one refinement per
+    request. *)
+
+val transport : src:labeling -> dst:labeling -> Solution.t -> Solution.t option
+(** [transport ~src ~dst s] maps a solution of [src]'s instance to the
+    corresponding solution of [dst]'s instance through the canonical
+    isomorphism. [None] when the forms differ (no isomorphism
+    exhibited) or [s] references names outside [src]'s instance. The
+    result has the same cost; on equal forms it is feasible iff [s]
+    is — callers re-verify cheaply via {!Solution.of_hidden}
+    re-closure. *)
+
 val fingerprint : Instance.t -> string
 (** A cheap necessary condition for isomorphism: sorted name-free
     summaries (attribute costs, module arities and requirement shapes,

@@ -359,3 +359,19 @@ let run req =
         state =
           Some { solved_inst = req.inst; canon = lazy (Canon.form req.inst) };
       }
+
+type cache = {
+  cache_find : request -> result option;
+  cache_store : request -> result -> unit;
+}
+
+let no_cache = { cache_find = (fun _ -> None); cache_store = (fun _ _ -> ()) }
+
+let run_cached cache req =
+  match cache.cache_find req with
+  | Some r ->
+      { r with stats = ("cache", "hit") :: List.remove_assoc "cache" r.stats }
+  | None ->
+      let r = run req in
+      cache.cache_store req r;
+      { r with stats = ("cache", "miss") :: r.stats }

@@ -139,3 +139,27 @@ val run : request -> result
     whole solve runs inside a ["solve"] metrics span whose measurement
     also provides the ["total"] timings entry (solver phases appear
     under ["solve/<phase>"] in the registry). *)
+
+(** {1 Cache-aware entry point}
+
+    The engine does not own a cache (the canonical-form solution cache
+    lives in [Serve.Cache], above this layer); it owns the wiring: a
+    {!cache} is a pair of closures consulted before and after a solve.
+    A lookup hit is returned as-is except for a [("cache", "hit")]
+    stat; a miss runs {!run}, offers the result to [cache_store], and
+    tags the result [("cache", "miss")]. *)
+
+type cache = {
+  cache_find : request -> result option;
+      (** must only return results whose optimum provably equals a
+          fresh {!run} of the request (the serve cache guarantees this
+          by canonical-isomorphism transport plus a re-closure check) *)
+  cache_store : request -> result -> unit;
+      (** offered every miss result; the store decides cacheability *)
+}
+
+val no_cache : cache
+(** Never hits, never stores: [run_cached no_cache] is {!run} plus the
+    [("cache", "miss")] stat. *)
+
+val run_cached : cache -> request -> result

@@ -1,0 +1,244 @@
+(* The serve loop. Single-threaded by design: requests are handled one
+   at a time, and the [--jobs] slot pool bounds how much solver
+   parallelism each request may use (Svutil.Sem clamps, it never
+   blocks). All state lives in [t]; the signal handler only reads. *)
+
+module Metrics = Svutil.Metrics
+module Sem = Svutil.Sem
+
+type config = {
+  cache_capacity : int;
+  jobs : int;
+  defaults : Request.options;
+  verify_hits : bool;
+  preflight : bool;
+  metrics : Metrics.t;
+}
+
+let default_config () =
+  {
+    cache_capacity = 128;
+    jobs = 1;
+    defaults = Request.default_options;
+    verify_hits = false;
+    preflight = true;
+    metrics = Metrics.create ();
+  }
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  sem : Sem.t;
+  mutable requests : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    cache = Cache.create ~metrics:cfg.metrics ~capacity:cfg.cache_capacity ();
+    sem = Sem.create cfg.jobs;
+    requests = 0;
+  }
+
+let stats_json t =
+  Response.assoc
+    [
+      ("requests", string_of_int t.requests);
+      ("hits", string_of_int (Cache.hits t.cache));
+      ("misses", string_of_int (Cache.misses t.cache));
+      ("evictions", string_of_int (Cache.evictions t.cache));
+      ("inflight", string_of_int (Sem.in_use t.sem));
+      ("size", string_of_int (Cache.length t.cache));
+      ("capacity", string_of_int (Cache.capacity t.cache));
+    ]
+
+let dump_stats t oc =
+  Printf.fprintf oc "serve stats %s\nserve metrics %s\n%!" (stats_json t)
+    (Metrics.to_json t.cfg.metrics)
+
+(* Differential verification of a cache hit: re-solve the same request
+   from scratch (fresh nop registry, no cache) and require the same
+   optimum. This is the no-drift acceptance check, available at runtime
+   behind --verify-hits. *)
+let verify_hit t (ereq : Core.Engine.request) (r : Core.Engine.result) =
+  let scratch =
+    Core.Engine.run { ereq with Core.Engine.metrics = Metrics.nop }
+  in
+  let cost (x : Core.Engine.result) =
+    Option.map
+      (fun (s : Core.Solution.t) -> s.Core.Solution.cost)
+      x.Core.Engine.solution
+  in
+  match (cost r, cost scratch) with
+  | None, None -> Ok ()
+  | Some a, Some b when Rat.equal a b -> Ok ()
+  | a, b ->
+      Metrics.tick t.cfg.metrics "serve.drift";
+      let show = function
+        | Some c -> Rat.to_string c
+        | None -> "infeasible"
+      in
+      Error
+        (Request.Internal
+           (Printf.sprintf "cache drift: hit %s, re-solve %s" (show a)
+              (show b)))
+
+let solve t id (s : Request.solve) =
+  let loaded =
+    Metrics.span t.cfg.metrics "serve/parse" (fun () ->
+        match s.Request.source with
+        | Request.File path ->
+            Request.spec_of_file ~preflight:t.cfg.preflight path
+        | Request.Inline src ->
+            Request.spec_of_string ~preflight:t.cfg.preflight src)
+  in
+  match loaded with
+  | Error e -> Response.error ?id e
+  | Ok spec ->
+      let inst = Request.instance_of spec in
+      Sem.with_slots t.sem s.Request.options.Request.jobs (fun granted ->
+          Metrics.observe_in t.cfg.metrics "serve.granted_jobs"
+            (float_of_int granted);
+          let reqm =
+            if s.Request.want_metrics then Metrics.create () else Metrics.nop
+          in
+          let ereq =
+            Request.engine_request ~metrics:reqm inst
+              { s.Request.options with Request.jobs = granted }
+          in
+          let use_cache = s.Request.use_cache && Cache.cacheable ereq in
+          let cached =
+            if use_cache then
+              Metrics.span t.cfg.metrics "serve/lookup" (fun () ->
+                  Cache.find t.cache ereq)
+            else None
+          in
+          let r, status =
+            match cached with
+            | Some r ->
+                ( { r with Core.Engine.stats = ("cache", "hit") :: r.Core.Engine.stats },
+                  "hit" )
+            | None ->
+                let r =
+                  Metrics.span t.cfg.metrics "serve/solve" (fun () ->
+                      Core.Engine.run ereq)
+                in
+                if use_cache then begin
+                  Metrics.span t.cfg.metrics "serve/store" (fun () ->
+                      Cache.store t.cache ereq r);
+                  ( {
+                      r with
+                      Core.Engine.stats =
+                        ("cache", "miss") :: r.Core.Engine.stats;
+                    },
+                    "miss" )
+                end
+                else (r, "bypass")
+          in
+          let verified =
+            if t.cfg.verify_hits && status = "hit" then verify_hit t ereq r
+            else Ok ()
+          in
+          match verified with
+          | Error e -> Response.error ?id e
+          | Ok () ->
+              if s.Request.want_metrics then Metrics.absorb t.cfg.metrics reqm;
+              Response.ok_fields ?id
+                [
+                  ("cache", Response.str status);
+                  ( "result",
+                    Response.engine_result ~timings:s.Request.want_timings r );
+                ])
+
+let handle_line t line =
+  if String.trim line = "" then (None, `Continue)
+  else
+    match Request.of_json_line ~defaults:t.cfg.defaults line with
+    | Error (id, e) -> (Some (Response.error ?id e), `Continue)
+    | Ok { Request.id; op } -> (
+        t.requests <- t.requests + 1;
+        match op with
+        | Request.Ping ->
+            (Some (Response.ok_fields ?id [ ("pong", "true") ]), `Continue)
+        | Request.Stats ->
+            (Some (Response.ok_fields ?id [ ("stats", stats_json t) ]), `Continue)
+        | Request.Shutdown ->
+            (Some (Response.ok_fields ?id [ ("shutdown", "true") ]), `Stop)
+        | Request.Solve s -> (Some (solve t id s), `Continue))
+
+(* [input_line] aborted by a handled signal (SIGUSR1 stats dump) raises
+   Sys_error "Interrupted system call"; retry those, fail the rest. *)
+let rec read_line_opt ic =
+  match input_line ic with
+  | line -> Some line
+  | exception End_of_file -> None
+  | exception Sys_error msg
+    when String.length msg >= 11
+         && String.lowercase_ascii (String.sub msg 0 11) = "interrupted" ->
+      read_line_opt ic
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match read_line_opt ic with
+    | None -> `Eof
+    | Some line -> (
+        let response, continue = handle_line t line in
+        (match response with
+        | Some r ->
+            output_string oc r;
+            output_char oc '\n';
+            flush oc
+        | None -> ());
+        match continue with `Stop -> `Shutdown | `Continue -> loop ())
+  in
+  loop ()
+
+let install_sigusr1 t =
+  match
+    Sys.signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> dump_stats t stderr))
+  with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+let run_stdio cfg =
+  let t = create cfg in
+  install_sigusr1 t;
+  let (_ : [ `Eof | `Shutdown ]) = serve_channels t stdin stdout in
+  dump_stats t stderr
+
+let run_socket cfg path =
+  let t = create cfg in
+  install_sigusr1 t;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      dump_stats t stderr)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      (* The SIGUSR1 handler interrupts a blocking accept with EINTR;
+         retry, matching read_line_opt's treatment of input_line. *)
+      let rec accept_retry () =
+        try Unix.accept sock
+        with Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry ()
+      in
+      let rec accept_loop () =
+        let fd, _ = accept_retry () in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let outcome =
+          try serve_channels t ic oc with Sys_error _ -> `Eof
+        in
+        (* ic and oc share the descriptor: flush the writer, close the
+           descriptor once. *)
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match outcome with `Shutdown -> () | `Eof -> accept_loop ()
+      in
+      accept_loop ())

@@ -1,0 +1,69 @@
+(** The long-lived serve loop: JSON-lines requests on stdin/stdout or a
+    Unix-domain socket, in front of {!Core.Engine} with the
+    {!Cache} solution cache and {!Svutil.Sem} admission control.
+
+    One request object per input line, one response object per output
+    line (see {!Request} for the protocol fields). Blank lines are
+    skipped. The loop is single-threaded — [--jobs] bounds the {e
+    solver} parallelism handed to each request (a request asking for
+    more is clamped to what the slot pool has available), not
+    connection concurrency; socket mode serves one connection at a
+    time.
+
+    Observability: the server registry collects
+    [serve.{hits,misses,evictions,collisions,verify_failures}]
+    counters, the [serve.granted_jobs] admission histogram, and
+    [serve/{parse,lookup,solve,store}] spans. [SIGUSR1] dumps the stats
+    and registry to stderr without disturbing the loop; shutdown (EOF,
+    a [shutdown] request, or end of socket serving) dumps them a final
+    time. *)
+
+type config = {
+  cache_capacity : int;  (** LRU entries; at least 1 *)
+  jobs : int;  (** total solver-parallelism slot pool *)
+  defaults : Request.options;  (** per-request option defaults *)
+  verify_hits : bool;
+      (** differentially verify every cache hit: re-solve from scratch
+          and fail the request (kind [internal], the [serve.drift]
+          counter) on any optimum drift. For tests and the
+          [serve-examples] gate — it re-pays the solve the cache
+          saved. *)
+  preflight : bool;  (** run the Wfcheck static checks before solving *)
+  metrics : Svutil.Metrics.t;  (** the server registry *)
+}
+
+val default_config : unit -> config
+(** 128 cache entries, a 1-slot pool, {!Request.default_options},
+    no hit verification, preflight on, a fresh live registry. *)
+
+type t
+(** A running daemon: cache, slot pool, counters. *)
+
+val create : config -> t
+
+val stats_json : t -> string
+(** The [stats] response body: requests, hits, misses, evictions,
+    inflight, cache size and capacity. *)
+
+val handle_line : t -> string -> string option * [ `Continue | `Stop ]
+(** Process one request line: [None] for a blank line, [Some response]
+    otherwise; [`Stop] after a [shutdown] request. Exposed for
+    in-process tests. *)
+
+val serve_channels : t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+(** Run the loop until EOF or a [shutdown] request, flushing after
+    every response. *)
+
+val dump_stats : t -> out_channel -> unit
+(** The SIGUSR1/shutdown dump: one [serve stats {…}] line and one
+    [serve metrics {…}] line. *)
+
+val run_stdio : config -> unit
+(** Serve stdin → stdout; installs the SIGUSR1 handler and dumps stats
+    on exit. *)
+
+val run_socket : config -> string -> unit
+(** Serve a Unix-domain socket at the given path (unlinked first if it
+    exists, and on exit), one connection at a time, until a connection
+    sends [shutdown]. Ignores [SIGPIPE]; installs the SIGUSR1
+    handler. *)

@@ -1,0 +1,247 @@
+(* The shared request layer: error type + exit codes, spec loading,
+   solver options, and the JSON-lines protocol decoder. See the mli for
+   the exit-code mapping this module is the single source of truth
+   for. *)
+
+module Wfcheck = Analysis.Wfcheck
+module Json = Svutil.Json
+
+type error =
+  | Usage of string
+  | Parse_error of string
+  | Static_errors of { file : string; diagnostics : Wfcheck.diagnostic list }
+  | Unknown_name of string
+  | Internal of string
+
+let exit_code = function
+  | Usage _ | Parse_error _ | Unknown_name _ -> 2
+  | Static_errors _ -> 1
+  | Internal _ -> 3
+
+let kind = function
+  | Usage _ -> "usage"
+  | Parse_error _ -> "parse"
+  | Static_errors _ -> "static"
+  | Unknown_name _ -> "unknown-name"
+  | Internal _ -> "internal"
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) (String.trim s)
+
+let static_summary file n =
+  Printf.sprintf "%s fails %d static check%s (secure_view_cli lint %s)" file n
+    (if n = 1 then "" else "s")
+    file
+
+let message = function
+  | Usage m | Parse_error m | Unknown_name m | Internal m -> one_line m
+  | Static_errors { file; diagnostics } ->
+      static_summary file (List.length diagnostics)
+
+let text = function
+  | Static_errors { file; diagnostics } ->
+      Wfcheck.to_text ~file diagnostics
+      ^ "\nerror: "
+      ^ static_summary file (List.length diagnostics)
+  | e -> message e
+
+(* Spec loading ------------------------------------------------------- *)
+
+let check_static ~file spec =
+  match Wfcheck.errors (Wfcheck.check_spec spec) with
+  | [] -> Ok spec
+  | diagnostics -> Error (Static_errors { file; diagnostics })
+
+let spec_of_file ?(preflight = false) path =
+  match (try Wf.Parse.parse_file path with Sys_error m -> Error m) with
+  | Error e -> Error (Parse_error e)
+  | Ok spec -> if preflight then check_static ~file:path spec else Ok spec
+
+let spec_of_string ?(preflight = false) ?(name = "<request>") src =
+  match Wf.Parse.parse_string src with
+  | Error e -> Error (Parse_error e)
+  | Ok spec -> if preflight then check_static ~file:name spec else Ok spec
+
+let instance_of (spec : Wf.Parse.spec) =
+  let w = spec.Wf.Parse.workflow in
+  let cost a = List.assoc a spec.Wf.Parse.costs in
+  Core.Instance.of_workflow w ~gamma:spec.Wf.Parse.gamma
+    ~gamma_overrides:spec.Wf.Parse.gamma_overrides ~cost
+    ~publics:spec.Wf.Parse.publics ()
+
+(* Solver options ----------------------------------------------------- *)
+
+type options = {
+  meth : Core.Engine.meth;
+  node_limit : int;
+  lp_mode : Lp.Simplex.mode;
+  jobs : int;
+  seed : int;
+  deadline_ms : float option;
+  trials : int;
+  static_fixing : bool;
+}
+
+let default_options =
+  {
+    meth = Core.Engine.Auto;
+    node_limit = Lp.Ilp.default_node_limit;
+    lp_mode = Lp.Simplex.Hybrid_mode;
+    jobs = 1;
+    seed = 0;
+    deadline_ms = None;
+    trials = 4;
+    static_fixing = true;
+  }
+
+let engine_request ?(metrics = Svutil.Metrics.nop) inst (o : options) =
+  {
+    (Core.Engine.default_request inst) with
+    Core.Engine.meth = o.meth;
+    node_limit = o.node_limit;
+    lp_mode = o.lp_mode;
+    jobs = o.jobs;
+    seed = o.seed;
+    deadline_ms = o.deadline_ms;
+    trials = o.trials;
+    static_fixing = o.static_fixing;
+    metrics;
+  }
+
+(* The CLI spellings keep their historical names: [lp] is the set-LP
+   threshold rounding, [alg1] the cardinality-LP randomized rounding. *)
+let method_names =
+  [
+    ("auto", Core.Engine.Auto);
+    ("greedy", Core.Engine.Greedy);
+    ("lp", Core.Engine.Round_set);
+    ("alg1", Core.Engine.Round_card);
+    ("exact", Core.Engine.Exact);
+    ("brute", Core.Engine.Brute);
+  ]
+
+let method_of_name n = List.assoc_opt n method_names
+
+(* Protocol ----------------------------------------------------------- *)
+
+type source = Inline of string | File of string
+
+type solve = {
+  source : source;
+  options : options;
+  use_cache : bool;
+  want_metrics : bool;
+  want_timings : bool;
+}
+
+type op = Solve of solve | Ping | Stats | Shutdown
+type t = { id : string option; op : op }
+
+let ( let* ) = Result.bind
+
+(* Every field accessor distinguishes "absent" (use the default) from
+   "present with the wrong type" (a Usage error) — silently ignoring a
+   mistyped budget would be worse than rejecting the request. *)
+let field obj key conv what default =
+  match Json.member key obj with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None ->
+          Error (Usage (Printf.sprintf "field %S: expected %s" key what)))
+
+let int_field obj key d = field obj key Json.to_int "an integer" d
+let bool_field obj key d = field obj key Json.to_bool "a boolean" d
+let str_field obj key d = field obj key Json.to_str "a string" d
+
+let opt_float_field obj key d =
+  field obj key (fun v -> Option.map Option.some (Json.to_float v)) "a number" d
+
+let id_of obj =
+  match Json.member "id" obj with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some (Json.Num n) -> Ok (Some (Json.number_to_string n))
+  | Some _ -> Error (Usage "field \"id\": expected a string or number")
+
+let source_of obj =
+  match (Json.member "workflow" obj, Json.member "file" obj) with
+  | Some (Json.Str w), None -> Ok (Inline w)
+  | None, Some (Json.Str f) -> Ok (File f)
+  | None, None ->
+      Error (Usage "solve request needs a \"workflow\" or \"file\" field")
+  | Some _, Some _ ->
+      Error (Usage "give either \"workflow\" or \"file\", not both")
+  | _ -> Error (Usage "field \"workflow\"/\"file\": expected a string")
+
+let solve_of ~defaults obj =
+  let* source = source_of obj in
+  let* meth =
+    match Json.member "method" obj with
+    | None | Some Json.Null -> Ok defaults.meth
+    | Some (Json.Str m) -> (
+        match method_of_name m with
+        | Some meth -> Ok meth
+        | None -> Error (Unknown_name (Printf.sprintf "unknown method %S" m)))
+    | Some _ -> Error (Usage "field \"method\": expected a string")
+  in
+  let* lp_mode =
+    match Json.member "lp_mode" obj with
+    | None | Some Json.Null -> Ok defaults.lp_mode
+    | Some (Json.Str m) -> (
+        match Lp.Simplex.mode_of_string m with
+        | Some mode -> Ok mode
+        | None -> Error (Unknown_name (Printf.sprintf "unknown lp_mode %S" m)))
+    | Some _ -> Error (Usage "field \"lp_mode\": expected a string")
+  in
+  let* node_limit = int_field obj "node_limit" defaults.node_limit in
+  let* jobs = int_field obj "jobs" defaults.jobs in
+  let* seed = int_field obj "seed" defaults.seed in
+  let* trials = int_field obj "trials" defaults.trials in
+  let* deadline_ms = opt_float_field obj "deadline_ms" defaults.deadline_ms in
+  let* static_fixing = bool_field obj "static_fixing" defaults.static_fixing in
+  let* use_cache = bool_field obj "cache" true in
+  let* want_metrics = bool_field obj "metrics" false in
+  let* want_timings = bool_field obj "timings" false in
+  Ok
+    (Solve
+       {
+         source;
+         options =
+           {
+             meth;
+             node_limit;
+             lp_mode;
+             jobs = max 1 jobs;
+             seed;
+             deadline_ms;
+             trials = max 1 trials;
+             static_fixing;
+           };
+         use_cache;
+         want_metrics;
+         want_timings;
+       })
+
+let of_json_line ~defaults line =
+  match Json.of_string line with
+  | Error e -> Error (None, Parse_error ("request: " ^ e))
+  | Ok (Json.Obj _ as obj) -> (
+      match id_of obj with
+      | Error e -> Error (None, e)
+      | Ok id -> (
+          let decoded =
+            let* op_name = str_field obj "op" "solve" in
+            match op_name with
+            | "solve" -> solve_of ~defaults obj
+            | "ping" -> Ok Ping
+            | "stats" -> Ok Stats
+            | "shutdown" -> Ok Shutdown
+            | other ->
+                Error (Unknown_name (Printf.sprintf "unknown op %S" other))
+          in
+          match decoded with
+          | Ok op -> Ok { id; op }
+          | Error e -> Error (id, e)))
+  | Ok _ -> Error (None, Usage "request: expected a JSON object")

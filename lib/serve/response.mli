@@ -1,0 +1,36 @@
+(** JSON rendering for engine results and protocol responses — the one
+    copy of what used to be private helpers inside the CLI, now shared
+    by the [solve]/[batch]/[delta] subcommands and the daemon.
+
+    Everything renders to compact one-line JSON strings (values are
+    pre-rendered JSON, keys are escaped), matching the CLI's historical
+    output byte for byte. *)
+
+val escape : string -> string
+val str : string -> string
+(** A JSON string literal (quotes included). *)
+
+val list : string list -> string
+(** A JSON array of string literals. *)
+
+val assoc : (string * string) list -> string
+(** A JSON object; values must already be rendered JSON. *)
+
+val solution : Core.Solution.t -> string
+(** [{"cost":…,"hidden":[…],"privatized":[…]}]. *)
+
+val engine_result : ?timings:bool -> Core.Engine.result -> string
+(** The uniform result object: method, solution, bounds, stats, and —
+    when the request carried a live registry — metrics.
+    [~timings:false] (default [true], the CLI behaviour) omits the
+    [timings_ms] object so daemon responses are byte-stable across
+    runs. *)
+
+val error : ?id:string -> Request.error -> string
+(** A protocol error line:
+    [{"id":…,"ok":false,"error":{"kind":…,"code":…,"message":…}}],
+    where [code] is the {!Request.exit_code} the CLI would exit with. *)
+
+val ok_fields : ?id:string -> (string * string) list -> string
+(** A protocol success line: [{"id":…,"ok":true,…}] with the given
+    extra fields appended. *)

@@ -1,0 +1,37 @@
+(** A bounded least-recently-used map with string keys.
+
+    All operations are O(1).  {!find} counts as a use (the hit is
+    promoted to most-recently-used); {!add} beyond {!capacity} evicts
+    the least-recently-used entry and counts it in {!evictions}.  The
+    serve layer's canonical-form solution cache ({!Serve.Cache}) is the
+    primary client.
+
+    Not thread-safe; the single-threaded serve loop owns its cache. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] is an empty cache holding at most [capacity]
+    entries.  @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val evictions : 'a t -> int
+(** Entries dropped by capacity pressure since {!create} (replacing a
+    key with {!add} is not an eviction). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit becomes the most-recently-used entry. *)
+
+val mem : 'a t -> string -> bool
+(** Membership test without promoting. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace, making the entry most-recently-used.  A fresh
+    insert at capacity first evicts the least-recently-used entry. *)
+
+val remove : 'a t -> string -> unit
+
+val to_list : 'a t -> (string * 'a) list
+(** Entries most-recently-used first (for tests and dumps). *)

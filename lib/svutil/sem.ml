@@ -1,0 +1,37 @@
+(* Admission-control slot counter. The serve loop is single-threaded
+   (one request at a time), so this is deliberately not a blocking
+   semaphore: a grant clamps the request to what is available rather
+   than waiting, and the solver layers (Par worker pools) honour the
+   granted width. Every request is granted at least one slot —
+   admission control narrows parallelism, it never refuses outright —
+   so [in_use] can transiently exceed [capacity] by that minimum grant
+   when the pool is exhausted. *)
+
+type t = { capacity : int; mutable in_use : int }
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Sem.create: capacity must be >= 1";
+  { capacity; in_use = 0 }
+
+let capacity t = t.capacity
+let in_use t = t.in_use
+let available t = max 0 (t.capacity - t.in_use)
+
+let try_acquire t n =
+  if n < 0 then invalid_arg "Sem.try_acquire: negative request";
+  let granted = min n (available t) in
+  t.in_use <- t.in_use + granted;
+  granted
+
+let acquire t n =
+  let granted = max 1 (min (max 1 n) (available t)) in
+  t.in_use <- t.in_use + granted;
+  granted
+
+let release t n =
+  if n < 0 then invalid_arg "Sem.release: negative count";
+  t.in_use <- max 0 (t.in_use - n)
+
+let with_slots t n f =
+  let granted = acquire t n in
+  Fun.protect ~finally:(fun () -> release t granted) (fun () -> f granted)

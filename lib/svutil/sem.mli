@@ -1,0 +1,34 @@
+(** Admission-control slot counter for the serve loop's [--jobs]
+    budget.
+
+    Not a blocking semaphore: the serve loop handles one request at a
+    time, so a grant {e clamps} the request's parallelism to what is
+    available instead of waiting.  {!acquire} always grants at least one
+    slot (admission control narrows parallelism, it never refuses a
+    request), so {!in_use} can transiently exceed {!capacity} by that
+    minimum grant when the pool is exhausted.  Not thread-safe. *)
+
+type t
+
+val create : int -> t
+(** @raise Invalid_argument when the capacity is below 1. *)
+
+val capacity : t -> int
+val in_use : t -> int
+
+val available : t -> int
+(** [max 0 (capacity - in_use)]. *)
+
+val try_acquire : t -> int -> int
+(** [try_acquire t n] grants [min n (available t)] slots (possibly 0)
+    and records them as in use. *)
+
+val acquire : t -> int -> int
+(** Like {!try_acquire} but always grants at least one slot. *)
+
+val release : t -> int -> unit
+(** Return granted slots.  Releasing more than is in use clamps at 0. *)
+
+val with_slots : t -> int -> (int -> 'a) -> 'a
+(** [with_slots t n f] acquires, runs [f granted], and releases the
+    same grant on the way out (also on exceptions). *)

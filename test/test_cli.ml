@@ -236,7 +236,13 @@ let test_batch_metrics () =
   in
   Alcotest.(check bool) "exit 0" true ok;
   let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
-  Alcotest.(check int) "one line per file" 2 (List.length lines);
+  (* One line per file plus the aggregated Metrics.merge footer. *)
+  Alcotest.(check int) "two file lines and a footer" 3 (List.length lines);
+  let file_lines, footer =
+    match lines with
+    | [ a; b; f ] -> ([ a; b ], f)
+    | _ -> Alcotest.fail "unreachable"
+  in
   List.iter
     (fun line ->
       let doc = parse_ok "batch line" line in
@@ -247,14 +253,55 @@ let test_batch_metrics () =
       let metrics = member "batch result" "metrics" result in
       let spans = member "batch metrics" "spans" metrics in
       Alcotest.(check bool) "per-file solve span" true (has_key "solve" spans))
-    lines
+    file_lines;
+  let doc = parse_ok "batch footer" footer in
+  let merged = member "batch footer" "metrics" doc in
+  let spans = member "merged metrics" "spans" merged in
+  match member "merged spans" "solve" spans with
+  | Obj _ as solve -> (
+      match member "merged solve span" "count" solve with
+      | Num 2. -> ()
+      | _ -> Alcotest.fail "merged solve span must count both files")
+  | _ -> Alcotest.fail "merged spans must include solve"
 
 let test_batch_no_metrics_by_default () =
   let ok, out = run_cli [ "batch"; example "fig1.swf" ] in
   Alcotest.(check bool) "exit 0" true ok;
+  (* No live registries, so also no footer line. *)
   let doc = parse_ok "batch line" out in
   let result = member "batch line" "result" doc in
   Alcotest.(check bool) "no metrics key" false (has_key "metrics" result)
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes (the Serve.Request mapping, uniform across subcommands)  *)
+(* ------------------------------------------------------------------ *)
+
+let run_cli_code args =
+  Sys.command (Filename.quote_command cli args ^ " >/dev/null 2>/dev/null")
+
+let with_temp_spec content f =
+  let path = Filename.temp_file "cli_spec" ".swf" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_exit_codes () =
+  Alcotest.(check int) "success" 0 (run_cli_code [ "solve"; example "fig1.swf" ]);
+  Alcotest.(check int) "missing file is malformed input" 2
+    (run_cli_code [ "solve"; example "no_such_file.swf" ]);
+  with_temp_spec "attr a cost 1\nmodule m private\n" (fun bad ->
+      Alcotest.(check int) "spec parse error" 2 (run_cli_code [ "solve"; bad ]);
+      Alcotest.(check int) "lint agrees on parse errors" 2
+        (run_cli_code [ "lint"; bad ]);
+      Alcotest.(check int) "batch with a failing file" 1
+        (run_cli_code [ "batch"; example "fig1.swf"; bad ]));
+  (* W020: parses, fails the static preflight — code 1, not 2. *)
+  with_temp_spec
+    "gamma 4\nattr x\nattr y\nmodule m private inputs x outputs y\n\
+     row m 0 -> 1\nrow m 1 -> 0\n" (fun unreachable ->
+      Alcotest.(check int) "static preflight failure" 1
+        (run_cli_code [ "solve"; unreachable ]))
 
 (* ------------------------------------------------------------------ *)
 (* delta --json --verify --metrics json                                *)
@@ -324,6 +371,7 @@ let () =
           Alcotest.test_case "--metrics json" `Quick test_batch_metrics;
           Alcotest.test_case "metrics off by default" `Quick
             test_batch_no_metrics_by_default;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
         ] );
       ( "delta",
         [
