@@ -204,7 +204,7 @@ let e05 () =
         (fun seed ->
           let rng = Rng.create (1000 + (n * 17) + seed) in
           let inst =
-            Gen_instances.random_card rng { Gen_instances.default_shape with n_modules = n }
+            Svbench.Gen_instances.random_card rng { Svbench.Gen_instances.default_shape with n_modules = n }
           in
           let exact = if n <= 6 then exact_cost ~node_limit:30_000 inst else None in
           add_row "random" n inst exact)
@@ -252,8 +252,8 @@ let e06 () =
         (fun seed ->
           let rng = Rng.create (2000 + (lmax * 31) + seed) in
           let inst =
-            Gen_instances.random_sets rng
-              { Gen_instances.default_shape with n_modules = 4 }
+            Svbench.Gen_instances.random_sets rng
+              { Svbench.Gen_instances.default_shape with n_modules = 4 }
               ~lmax
           in
           add_row "random" inst (exact_cost inst))
@@ -282,8 +282,8 @@ let e07 () =
         (fun seed ->
           let rng = Rng.create (3000 + (sharing * 13) + seed) in
           let inst =
-            Gen_instances.random_card rng
-              { Gen_instances.default_shape with n_modules = 5; sharing }
+            Svbench.Gen_instances.random_card rng
+              { Svbench.Gen_instances.default_shape with n_modules = 5; sharing }
           in
           let greedy = Core.Greedy.solve inst in
           match exact_cost inst with

@@ -58,12 +58,12 @@ let naive_min_out_size w ~public ~visible ~module_name =
 let timing_tests ~lp_mode () =
   let fig1 = L.fig1_m1 in
   let card_inst =
-    Gen_instances.random_card (Rng.create 42)
-      { Gen_instances.default_shape with n_modules = 3 }
+    Svbench.Gen_instances.random_card (Rng.create 42)
+      { Svbench.Gen_instances.default_shape with n_modules = 3 }
   in
   let sets_inst =
-    Gen_instances.random_sets (Rng.create 43)
-      { Gen_instances.default_shape with n_modules = 3 }
+    Svbench.Gen_instances.random_sets (Rng.create 43)
+      { Svbench.Gen_instances.default_shape with n_modules = 3 }
       ~lmax:2
   in
   let sc = Combinat.Set_cover.random (Rng.create 44) ~universe:6 ~n_sets:4 in
@@ -93,28 +93,28 @@ let timing_tests ~lp_mode () =
      branch-and-bound nodes; the seeds are picked so the reduction is
      strict (9 -> 1 and 7 -> 2 nodes). *)
   let flow_inst_a =
-    Gen_instances.random_sets (Rng.create 2)
-      { Gen_instances.default_shape with n_modules = 5 }
+    Svbench.Gen_instances.random_sets (Rng.create 2)
+      { Svbench.Gen_instances.default_shape with n_modules = 5 }
       ~lmax:3
   in
   let flow_inst_b =
-    Gen_instances.random_sets (Rng.create 22)
-      { Gen_instances.default_shape with n_modules = 5 }
+    Svbench.Gen_instances.random_sets (Rng.create 22)
+      { Svbench.Gen_instances.default_shape with n_modules = 5 }
       ~lmax:3
   in
   let card_union =
-    Gen_instances.disjoint_union
+    Svbench.Gen_instances.disjoint_union
       (List.init 12 (fun i ->
-           Gen_instances.random_card
+           Svbench.Gen_instances.random_card
              (Rng.create (60 + i))
-             { Gen_instances.default_shape with n_modules = 3 }))
+             { Svbench.Gen_instances.default_shape with n_modules = 3 }))
   in
   let sets_union =
-    Gen_instances.disjoint_union
+    Svbench.Gen_instances.disjoint_union
       (List.init 12 (fun i ->
-           Gen_instances.random_sets
+           Svbench.Gen_instances.random_sets
              (Rng.create (70 + i))
-             { Gen_instances.default_shape with n_modules = 3 }
+             { Svbench.Gen_instances.default_shape with n_modules = 3 }
              ~lmax:2))
   in
   let e21_edit =
@@ -363,6 +363,24 @@ let timing_tests ~lp_mode () =
         in
         if List.assoc_opt "cache" r.Core.Engine.stats <> Some "hit" then
           failwith "e24: renamed union request missed the warm cache");
+  ]
+  @
+  (* Route-decision kernel: one pass of the fitted decision list over
+     every feature vector in the smoke corpus. This is the per-request
+     overhead Auto adds before any solver runs; it must stay in the
+     microsecond range or the router eats its own routing win. *)
+  let corpus_feats =
+    Svbench.Corpus.generate ~smoke:true ~seed:42 ()
+    |> List.map (fun (ir : Svbench.Corpus.inst_rec) -> ir.Svbench.Corpus.feats)
+  in
+  [
+    stage "e25_route_decision" (fun () ->
+        List.iter
+          (fun f ->
+            ignore
+              (Core.Engine.route Core.Engine.fitted_routing f
+                 ~deadline_ms:None))
+          corpus_feats);
   ]
 
 (* Flat { "test": ns_per_run } object; hand-rolled since the estimates

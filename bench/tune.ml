@@ -1,0 +1,283 @@
+(* Champion/challenger fitting of the [Engine] routing table from
+   measured corpus rows ([Corpus.run]).
+
+   The champion is the PR-4 hand-set strategy ({!E.hand_set_routing}).
+   Candidate challengers are decision-list tables from a small grid
+   (brute-force cut-offs over attribute and module counts in front of
+   the hand-set tail, plus deliberately aggressive all-greedy /
+   all-rounding tables the gate must reject). Fitting selects, on the
+   training split, the candidate with the fastest geomean routed solve
+   time among those with zero quality regressions against the champion;
+   the winner is promoted only if, on the held-out split, it again has
+   zero regressions and is at least [margin] faster in geomean.
+
+   Quality regression on an instance: the challenger's routed row has a
+   higher cost than the champion's, loses a solution the champion had,
+   or loses proven optimality the champion had.
+
+   The train/holdout split and every tie-break are deterministic (the
+   split hashes instance ids with [Corpus.hash31], candidates are tried
+   in grid order), so refitting from checked-in rows reproduces the
+   checked-in table bit for bit on any machine. *)
+
+module E = Core.Engine
+module J = Svutil.Json
+
+type eval = {
+  e_instances : int;
+  e_geomean_ms : float;  (** geomean routed solve time over the split *)
+  e_regressions : int;  (** instances where quality regressed vs champion *)
+}
+
+type verdict = {
+  v_champion : E.routing;
+  v_challenger : E.routing;  (** best candidate on the training split *)
+  v_promoted : bool;
+  v_margin : float;
+  v_champion_train : eval;
+  v_challenger_train : eval;
+  v_champion_holdout : eval;
+  v_challenger_holdout : eval;
+  v_winner : E.routing;  (** challenger if promoted, else champion *)
+}
+
+(* {1 Grouping and the split} *)
+
+type group = {
+  g_id : string;
+  g_feats : E.features;
+  g_rows : (string * Corpus.row) list;  (** method name -> measured row *)
+}
+
+let group_rows rows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Corpus.row) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl r.Corpus.r_id) in
+      Hashtbl.replace tbl r.Corpus.r_id (r :: cur))
+    rows;
+  Hashtbl.fold
+    (fun id rs acc ->
+      let rs = List.rev rs in
+      {
+        g_id = id;
+        g_feats = (List.hd rs).Corpus.r_feats;
+        g_rows = List.map (fun (r : Corpus.row) -> (r.Corpus.r_method, r)) rs;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.g_id b.g_id)
+
+(* ~30% holdout, keyed on the instance id so the split survives row
+   reordering and is identical on every machine and OCaml version. *)
+let is_holdout g = Corpus.hash31 ("holdout|" ^ g.g_id) mod 10 >= 7
+
+(* {1 Evaluation} *)
+
+(* Corpus rows are measured without a request deadline, so tables are
+   evaluated at [deadline_ms:None]: tight-deadline rules never fire
+   during fitting and simply carry over from the hand-set tail. *)
+let routed table g =
+  let m = E.route table g.g_feats ~deadline_ms:None in
+  List.assoc_opt (E.meth_to_string m) g.g_rows
+
+let regressed ~champion ~challenger =
+  match ((champion : Corpus.row option), (challenger : Corpus.row option)) with
+  | None, _ -> false
+  | Some _, None -> true
+  | Some c, Some d ->
+      (c.Corpus.r_proven && not d.Corpus.r_proven)
+      || (match (c.Corpus.r_cost, d.Corpus.r_cost) with
+         | Some cc, Some dc -> Rat.gt dc cc
+         | Some _, None -> true
+         | None, _ -> false)
+
+let evaluate ~champion table groups =
+  let n = List.length groups in
+  let log_sum = ref 0. and regs = ref 0 in
+  List.iter
+    (fun g ->
+      let c = routed champion g and d = routed table g in
+      if regressed ~champion:c ~challenger:d then incr regs;
+      let t =
+        match d with
+        | Some r -> r.Corpus.r_time_ms
+        | None ->
+            (* Routed to an unmeasured method: charge the slowest
+               measured row so a coverage gap never reads as a win. *)
+            List.fold_left
+              (fun acc (_, r) -> Float.max acc r.Corpus.r_time_ms)
+              0. g.g_rows
+      in
+      log_sum := !log_sum +. Float.log (Float.max t 1e-3))
+    groups;
+  {
+    e_instances = n;
+    e_geomean_ms =
+      (if n = 0 then 0. else Float.exp (!log_sum /. float_of_int n));
+    e_regressions = !regs;
+  }
+
+(* {1 The candidate grid} *)
+
+(* 25. is the hand-set tight-deadline threshold: the deadline rules are
+   not refit (corpus rows carry no deadline to fit them against), they
+   ride along so a promoted table still has sane budgeted behaviour. *)
+let candidates () =
+  let g g_feat g_cmp g_val = { E.g_feat; g_cmp; g_val } in
+  let tail =
+    [
+      {
+        E.guards = [ g "deadline_ms" E.Lt 25.; g "card_frac" E.Ge 1. ];
+        route = E.Round_card;
+      };
+      {
+        E.guards = [ g "deadline_ms" E.Lt 25.; g "lmax" E.Le 3. ];
+        route = E.Round_set;
+      };
+      { E.guards = [ g "deadline_ms" E.Lt 25. ]; route = E.Greedy };
+      { E.guards = []; route = E.Exact };
+    ]
+  in
+  let cut a mg =
+    let name =
+      Printf.sprintf "fitted(brute attrs<=%d%s)" a
+        (match mg with
+        | None -> ""
+        | Some k -> Printf.sprintf " modules<=%d" k)
+    in
+    let brute_guards =
+      g "attrs" E.Le (float_of_int a)
+      :: (match mg with
+         | None -> []
+         | Some k -> [ g "modules" E.Le (float_of_int k) ])
+    in
+    {
+      E.r_name = name;
+      rules =
+        (if a = 0 then []
+         else [ { E.guards = brute_guards; route = E.Brute } ])
+        @ tail;
+    }
+  in
+  List.concat_map
+    (fun a ->
+      if a = 0 then [ cut 0 None ]
+      else List.map (fun mg -> cut a mg) [ None; Some 3; Some 5 ])
+    [ 0; 2; 4; 6; 8; 10; 12; 14 ]
+  @ [
+      (* Aggressive tables the quality gate must reject: they are fast
+         but lose proven optima. Kept in the grid as a standing test
+         that the zero-regression filter works on real rows. *)
+      {
+        E.r_name = "challenger(greedy-always)";
+        rules = [ { E.guards = []; route = E.Greedy } ];
+      };
+      {
+        E.r_name = "challenger(round-always)";
+        rules =
+          [
+            { E.guards = [ g "card_frac" E.Ge 1. ]; route = E.Round_card };
+            { E.guards = []; route = E.Round_set };
+          ];
+      };
+    ]
+
+(* {1 Fitting and checking} *)
+
+let default_margin = 0.02
+
+let fit ?(margin = default_margin) rows =
+  let groups = group_rows rows in
+  let holdout, train = List.partition is_holdout groups in
+  let champion = E.hand_set_routing in
+  let champ_train = evaluate ~champion champion train in
+  let viable =
+    List.filter_map
+      (fun t ->
+        let e = evaluate ~champion t train in
+        if e.e_regressions = 0 then Some (t, e) else None)
+      (candidates ())
+  in
+  (* Strict [<]: ties keep the earlier candidate (grid order), and the
+     champion itself wins when nothing beats it on train. *)
+  let challenger, _ =
+    List.fold_left
+      (fun (bt, be) (t, e) ->
+        if e.e_geomean_ms < be.e_geomean_ms then (t, e) else (bt, be))
+      (champion, champ_train) viable
+  in
+  let chal_train = evaluate ~champion challenger train in
+  let champ_holdout = evaluate ~champion champion holdout in
+  let chal_holdout = evaluate ~champion challenger holdout in
+  let promoted =
+    challenger.E.r_name <> champion.E.r_name
+    && chal_holdout.e_regressions = 0
+    && chal_holdout.e_geomean_ms <= champ_holdout.e_geomean_ms *. (1. -. margin)
+  in
+  {
+    v_champion = champion;
+    v_challenger = challenger;
+    v_promoted = promoted;
+    v_margin = margin;
+    v_champion_train = champ_train;
+    v_challenger_train = chal_train;
+    v_champion_holdout = champ_holdout;
+    v_challenger_holdout = chal_holdout;
+    v_winner = (if promoted then challenger else champion);
+  }
+
+(* The acceptance gate as a checkable predicate: refit from [rows] and
+   verify the supplied [table] is exactly the refit winner, and that it
+   meets the gate on the held-out split — zero quality regressions and
+   geomean no slower than the hand-set champion. Returns the verdict
+   and a list of human-readable problems (empty = pass). *)
+let check ?margin ~rows table =
+  let v = fit ?margin rows in
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if v.v_winner <> table then
+    add "refit winner %S does not match the supplied table %S"
+      v.v_winner.E.r_name table.E.r_name;
+  let holdout = List.filter is_holdout (group_rows rows) in
+  let champ_h = evaluate ~champion:v.v_champion v.v_champion holdout in
+  let table_h = evaluate ~champion:v.v_champion table holdout in
+  if table_h.e_regressions > 0 then
+    add "%d holdout quality regression(s) against the hand-set champion"
+      table_h.e_regressions;
+  if table_h.e_geomean_ms > champ_h.e_geomean_ms then
+    add "holdout geomean %.3f ms is slower than the hand-set %.3f ms"
+      table_h.e_geomean_ms champ_h.e_geomean_ms;
+  (v, List.rev !problems)
+
+(* {1 JSON} *)
+
+let eval_to_json e =
+  J.Obj
+    [
+      ("instances", J.Num (float_of_int e.e_instances));
+      ("geomean_ms", J.Num e.e_geomean_ms);
+      ("regressions", J.Num (float_of_int e.e_regressions));
+    ]
+
+let verdict_to_json v =
+  J.Obj
+    [
+      ("champion", J.Str v.v_champion.E.r_name);
+      ("challenger", J.Str v.v_challenger.E.r_name);
+      ("promoted", J.Bool v.v_promoted);
+      ("margin", J.Num v.v_margin);
+      ( "train",
+        J.Obj
+          [
+            ("champion", eval_to_json v.v_champion_train);
+            ("challenger", eval_to_json v.v_challenger_train);
+          ] );
+      ( "holdout",
+        J.Obj
+          [
+            ("champion", eval_to_json v.v_champion_holdout);
+            ("challenger", eval_to_json v.v_challenger_holdout);
+          ] );
+      ("winner", E.routing_to_json v.v_winner);
+    ]

@@ -202,7 +202,12 @@ let escape s =
   Buffer.contents b
 
 let number_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if Float.is_nan f || f = infinity || f = neg_infinity then
+    (* JSON has no non-finite numbers; "inf"/"nan" would not re-parse.
+       Serialize them as null (like browsers' JSON.stringify) so
+       [to_string] always emits valid JSON. *)
+    "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
   else
     (* Shortest representation that round-trips exactly. *)

@@ -25,14 +25,16 @@ val of_string : string -> (t, string) result
 val to_string : t -> string
 (** One-line serialization.  [of_string (to_string j)] re-reads [j]
     exactly for every tree this library builds (numbers are printed with
-    round-trip precision). *)
+    round-trip precision); the one exception is a non-finite [Num],
+    which JSON cannot represent and which serializes as [null]. *)
 
 val escape : string -> string
 (** JSON string-body escaping (no surrounding quotes). *)
 
 val number_to_string : float -> string
 (** Integral floats print without a fraction; everything else with
-    enough digits to round-trip. *)
+    enough digits to round-trip bit-exactly (including negative
+    exponents like [1e-07]). Non-finite floats print as ["null"]. *)
 
 (** {1 Accessors}
 

@@ -136,6 +136,35 @@ let test_deadline_expiry () =
   | Some ms -> Alcotest.(check (float 0.0)) "remaining clamps at zero" 0. ms
   | None -> Alcotest.fail "finite deadline has remaining time"
 
+(* Json number printing -------------------------------------------------- *)
+
+module Json = Svutil.Json
+
+(* The routing-table serializer (Engine.routing_to_json) writes guard
+   thresholds as Num floats; integer-valued cuts like 8. and tiny
+   fractions like 1e-07 must survive to_string/of_string unchanged. *)
+let test_json_numbers () =
+  let p f = Json.number_to_string f in
+  Alcotest.(check string) "integral prints without fraction" "8" (p 8.);
+  Alcotest.(check string) "negative integral" "-3" (p (-3.));
+  Alcotest.(check string) "zero" "0" (p 0.);
+  Alcotest.(check string) "2^53" "9007199254740992" (p 9007199254740992.);
+  Alcotest.(check string) "negative exponent" "1e-07" (p 1e-07);
+  Alcotest.(check string) "huge integral uses exponent form" "1e+16" (p 1e16);
+  (* JSON has no non-finite numbers: they serialize as null (and hence
+     re-parse as Null rather than failing). *)
+  Alcotest.(check string) "nan is null" "null" (p Float.nan);
+  Alcotest.(check string) "inf is null" "null" (p Float.infinity);
+  Alcotest.(check string) "to_string Num inf" "null"
+    (Json.to_string (Json.Num Float.neg_infinity));
+  Alcotest.(check bool) "null re-parses" true
+    (Json.of_string (Json.to_string (Json.Num Float.nan)) = Ok Json.Null)
+
+let json_roundtrip_num f =
+  match Json.of_string (Json.to_string (Json.Num f)) with
+  | Ok (Json.Num g) -> Int64.bits_of_float g = Int64.bits_of_float f
+  | _ -> false
+
 (* Properties ------------------------------------------------------------ *)
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
@@ -176,6 +205,19 @@ let props =
           | None -> List.rev acc
         in
         drain [] = List.sort compare xs);
+    prop "Json integer-valued floats round-trip bit-exactly"
+      QCheck2.Gen.(int_range (-1_000_000_000) 1_000_000_000)
+      (fun n -> json_roundtrip_num (float_of_int n));
+    prop "Json scaled floats round-trip bit-exactly"
+      QCheck2.Gen.(pair (int_range (-999_999) 999_999) (int_range (-12) 12))
+      (fun (m, e) -> json_roundtrip_num (float_of_int m *. (10. ** float_of_int e)));
+    prop "Json raw float bit patterns round-trip (finite) or null out"
+      QCheck2.Gen.(map Int64.of_int int)
+      (fun bits ->
+        let f = Int64.float_of_bits bits in
+        if Float.is_finite f then json_roundtrip_num f
+        else
+          Json.of_string (Json.to_string (Json.Num f)) = Ok Json.Null);
   ]
 
 let test_par_exception () =
@@ -224,6 +266,8 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
         ] );
+      ( "json",
+        [ Alcotest.test_case "number printing" `Quick test_json_numbers ] );
       ( "par",
         [
           Alcotest.test_case "worker exception propagates" `Quick test_par_exception;
